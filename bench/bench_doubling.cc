@@ -1,0 +1,84 @@
+// Experiment T1-row4 — light spanners for doubling graphs (Theorem 5, §7).
+//
+// Regenerates the doubling row of Table 1 on random geometric graphs
+// (ddim ≈ 2): stretch 1+ε, lightness and size in the ε^{-O(ddim)}·log n
+// band, and the per-vertex packing certificate that controls the rounds.
+//
+// Expected shape: stretch tracking 1+ε closely (the 30ε constant is the
+// proof's, not the practice's); lightness roughly flat in n (only the
+// log n factor grows) and growing as ε shrinks; max_sources_per_vertex
+// small and n-independent.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/doubling_spanner.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+
+namespace {
+
+using namespace lightnet;
+
+void BM_DoublingSpanner(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const GeometricGraph geo =
+      random_geometric(n, std::sqrt(10.0 / n), 42);
+  DoublingSpannerParams params;
+  params.epsilon = eps;
+  params.seed = 7;
+  DoublingSpannerResult r;
+  for (auto _ : state) r = build_doubling_spanner(geo.graph, params);
+  lightnet::bench::report_cost(state, r.ledger.total());
+  state.counters["stretch"] = max_edge_stretch(geo.graph, r.spanner);
+  state.counters["stretch_target"] = 1.0 + eps;
+  state.counters["lightness"] = lightness(geo.graph, r.spanner);
+  state.counters["edges"] = static_cast<double>(r.spanner.size());
+  state.counters["edges_per_n"] =
+      static_cast<double>(r.spanner.size()) / n;
+  state.counters["scales"] = static_cast<double>(r.scales.size());
+  size_t max_sources = 0;
+  for (const ScaleDiagnostics& s : r.scales)
+    max_sources = std::max(max_sources, s.max_sources_per_vertex);
+  state.counters["max_sources_per_vertex"] =
+      static_cast<double>(max_sources);
+  state.counters["ddim_est"] =
+      estimate_doubling_dimension(geo.graph, 2, 1);
+}
+
+void BM_DoublingSpannerHopset(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double eps = 1.0 / static_cast<double>(state.range(1));
+  const GeometricGraph geo =
+      random_geometric(n, std::sqrt(10.0 / n), 42);
+  DoublingSpannerParams params;
+  params.epsilon = eps;
+  params.seed = 7;
+  params.use_hopset = true;
+  DoublingSpannerResult r;
+  for (auto _ : state) r = build_doubling_spanner(geo.graph, params);
+  lightnet::bench::report_cost(state, r.ledger.total());
+  state.counters["stretch"] = max_edge_stretch(geo.graph, r.spanner);
+  state.counters["lightness"] = lightness(geo.graph, r.spanner);
+  state.counters["edges"] = static_cast<double>(r.spanner.size());
+}
+
+void doubling_args(benchmark::internal::Benchmark* b) {
+  for (int n : {32, 64, 96, 128})
+    for (int inv_eps : {2, 4, 8}) b->Args({n, inv_eps});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void hopset_args(benchmark::internal::Benchmark* b) {
+  for (int n : {32, 64}) b->Args({n, 8});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_DoublingSpanner)->Apply(doubling_args);
+BENCHMARK(BM_DoublingSpannerHopset)->Apply(hopset_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

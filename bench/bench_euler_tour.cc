@@ -1,0 +1,68 @@
+// Experiment Fig-§3/Fig-1 — Euler tour of the MST and its fragment
+// decomposition (Lemma 2, §3).
+//
+// The paper's two figures illustrate the tour structure and the fragment
+// tree; this bench validates both quantitatively across sizes: fragment
+// counts ~√n, fragment hop-diameters ≤ 2√n, tour length exactly 2·w(MST),
+// and the phased round cost staying near √n + D where a naive distributed
+// DFS needs Θ(n).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "congest/bfs.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "mst/euler_tour.h"
+#include "mst/fragment_mst.h"
+
+namespace {
+
+using namespace lightnet;
+
+WeightedGraph instance(const std::string& family, int n) {
+  if (family == "grid") {
+    const int side = static_cast<int>(std::sqrt(n));
+    return grid(side, side, /*perturb=*/true, 42);
+  }
+  if (family == "path") return path_graph(n, WeightLaw::kUniform, 10.0, 42);
+  return erdos_renyi(n, 8.0 / n, WeightLaw::kUniform, 50.0, 42);
+}
+
+void BM_EulerTour(benchmark::State& state, const std::string& family) {
+  const int n = static_cast<int>(state.range(0));
+  const WeightedGraph g = instance(family, n);
+  congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+  EulerTourResult tour;
+  DistributedMstResult mst;
+  for (auto _ : state) {
+    mst = build_distributed_mst(g, 0);
+    tour = build_euler_tour(g, mst, bfs);
+  }
+  congest::CostStats total = mst.ledger.total();
+  total += tour.ledger.total();
+  lightnet::bench::report_cost(state, total);
+  state.counters["fragments"] =
+      static_cast<double>(mst.fragments.num_fragments);
+  state.counters["max_frag_depth"] =
+      static_cast<double>(mst.fragments.max_hop_depth());
+  state.counters["sqrt_n"] = std::sqrt(static_cast<double>(n));
+  state.counters["tour_len_over_mst"] =
+      tour.total_length / mst.tree.total_weight();
+  state.counters["naive_dfs_rounds"] = 2.0 * n;  // the Θ(n) alternative
+  state.counters["D"] = static_cast<double>(bfs.height);
+}
+
+void args(benchmark::internal::Benchmark* b) {
+  for (int n : {64, 256, 1024, 4096}) b->Args({n});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK_CAPTURE(BM_EulerTour, er, std::string("er"))->Apply(args);
+BENCHMARK_CAPTURE(BM_EulerTour, grid, std::string("grid"))->Apply(args);
+BENCHMARK_CAPTURE(BM_EulerTour, path, std::string("path"))->Apply(args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

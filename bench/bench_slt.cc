@@ -1,0 +1,122 @@
+// Experiment T1-row2 — shallow-light trees (Theorem 1, §4).
+//
+// Regenerates the SLT row of Table 1: the (root-stretch, lightness)
+// frontier of the distributed construction across ε, against the optimal
+// sequential KRY95 tradeoff, the pure SPT (stretch 1, heavy) and the pure
+// MST (light, unbounded root stretch). Also covers the §4.4 inverse
+// tradeoff (lightness 1+γ, stretch O(1/γ)) via the BFN16 reduction.
+//
+// Expected shape: distributed lightness within a small constant of KRY95
+// at comparable stretch; the two extremes bracketing both; rounds ~√n + D.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "baseline/kry_slt.h"
+#include "bench/bench_common.h"
+#include "core/slt.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+namespace {
+
+using namespace lightnet;
+
+WeightedGraph instance(int n) {
+  return ring_with_chords(n, n / 2, 25.0, 42);
+}
+
+// ε encoded as range(1) in hundredths to keep integer benchmark args.
+void BM_DistributedSlt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double eps = static_cast<double>(state.range(1)) / 100.0;
+  const WeightedGraph g = instance(n);
+  SltResult r;
+  for (auto _ : state) r = build_slt(g, 0, eps);
+  lightnet::bench::report_cost(state, r.ledger.total());
+  state.counters["root_stretch"] = root_stretch(g, r.tree_edges, 0);
+  state.counters["avg_stretch"] = average_root_stretch(g, r.tree_edges, 0);
+  state.counters["lightness"] = lightness(g, r.tree_edges);
+  state.counters["break_points"] =
+      static_cast<double>(r.diag.bp1_count + r.diag.bp2_count);
+  state.counters["sqrt_n_plus_D"] =
+      std::sqrt(static_cast<double>(n)) + g.hop_diameter();
+}
+
+void BM_SltLightBfn16(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double gamma = static_cast<double>(state.range(1)) / 100.0;
+  const WeightedGraph g = instance(n);
+  SltResult r;
+  for (auto _ : state) r = build_slt_light(g, 0, gamma);
+  lightnet::bench::report_cost(state, r.ledger.total());
+  state.counters["root_stretch"] = root_stretch(g, r.tree_edges, 0);
+  state.counters["lightness"] = lightness(g, r.tree_edges);
+  state.counters["lightness_target"] = 1.0 + gamma;
+}
+
+void BM_Kry95(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const double alpha = static_cast<double>(state.range(1)) / 100.0;
+  const WeightedGraph g = instance(n);
+  KrySltResult r;
+  for (auto _ : state) r = kry_slt(g, 0, alpha);
+  state.counters["root_stretch"] = root_stretch(g, r.tree_edges, 0);
+  state.counters["lightness"] = lightness(g, r.tree_edges);
+  state.counters["kry_bound"] = 1.0 + 2.0 / (alpha - 1.0);
+}
+
+void BM_PureSpt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const WeightedGraph g = instance(n);
+  std::vector<EdgeId> edges;
+  for (auto _ : state) edges = shortest_path_tree(g, 0).edge_ids();
+  state.counters["root_stretch"] = root_stretch(g, edges, 0);
+  state.counters["lightness"] = lightness(g, edges);
+}
+
+void BM_PureMst(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const WeightedGraph g = instance(n);
+  std::vector<EdgeId> edges;
+  for (auto _ : state) edges = kruskal_mst(g);
+  state.counters["root_stretch"] = root_stretch(g, edges, 0);
+  state.counters["lightness"] = lightness(g, edges);
+}
+
+void slt_args(benchmark::internal::Benchmark* b) {
+  for (int n : {128, 256, 512, 1024})
+    for (int eps_hundredths : {10, 25, 50, 100}) b->Args({n, eps_hundredths});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void kry_args(benchmark::internal::Benchmark* b) {
+  for (int n : {128, 256, 512, 1024})
+    for (int alpha_hundredths : {110, 150, 200, 400}) {
+      b->Args({n, alpha_hundredths});
+    }
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void gamma_args(benchmark::internal::Benchmark* b) {
+  for (int n : {128, 256, 512})
+    for (int gamma_hundredths : {10, 30, 60}) b->Args({n, gamma_hundredths});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+void extremes_args(benchmark::internal::Benchmark* b) {
+  for (int n : {128, 256, 512, 1024}) b->Args({n});
+  b->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_DistributedSlt)->Apply(slt_args);
+BENCHMARK(BM_SltLightBfn16)->Apply(gamma_args);
+BENCHMARK(BM_Kry95)->Apply(kry_args);
+BENCHMARK(BM_PureSpt)->Apply(extremes_args);
+BENCHMARK(BM_PureMst)->Apply(extremes_args);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Multicast trees: the SLT use case ([KRY95], [BDS04], §1.2).
+//
+// A source multicasts to all nodes over a spanning tree. The shortest-path
+// tree minimizes each receiver's delay but can cost Θ(n) times the MST in
+// link weight; the MST is the cheapest tree but some receivers wait
+// arbitrarily long. The (α, 1+O(1)/(α-1))-SLT sweeps the whole frontier.
+//
+//   ./examples/multicast_slt [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/kry_slt.h"
+#include "core/slt.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+using namespace lightnet;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
+  const WeightedGraph g = ring_with_chords(n, n / 2, 25.0, 11);
+  const VertexId src = 0;
+
+  std::printf("multicast tree frontier on ring+chords, n=%d, source=%d\n\n",
+              n, src);
+  std::printf("%-28s %12s %12s %12s\n", "tree", "max delay", "avg delay",
+              "link cost");
+
+  auto report = [&](const char* label, std::span<const EdgeId> tree) {
+    std::printf("%-28s %11.2fx %11.2fx %11.2fx\n", label,
+                root_stretch(g, tree, src), average_root_stretch(g, tree, src),
+                lightness(g, tree));
+  };
+
+  report("shortest-path tree", shortest_path_tree(g, src).edge_ids());
+  report("MST", kruskal_mst(g));
+  for (double eps : {0.1, 0.25, 0.5, 1.0}) {
+    const SltResult slt = build_slt(g, src, eps);
+    char label[64];
+    std::snprintf(label, sizeof(label), "distributed SLT (eps=%.2f)", eps);
+    report(label, slt.tree_edges);
+  }
+  for (double gamma : {0.1, 0.3}) {
+    const SltResult light = build_slt_light(g, src, gamma);
+    char label[64];
+    std::snprintf(label, sizeof(label), "SLT via BFN16 (gamma=%.1f)", gamma);
+    report(label, light.tree_edges);
+  }
+  for (double alpha : {1.5, 3.0}) {
+    const KrySltResult kry = kry_slt(g, src, alpha);
+    char label[64];
+    std::snprintf(label, sizeof(label), "KRY95 sequential (a=%.1f)", alpha);
+    report(label, kry.tree_edges);
+  }
+
+  std::printf(
+      "\n(delays are relative to the shortest-path optimum, cost relative\n"
+      "to the MST; the SLT rows interpolate between the two extremes.)\n");
+  return 0;
+}

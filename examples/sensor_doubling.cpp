@@ -1,0 +1,88 @@
+// Sensor-network topology control: the doubling-spanner use case (§1.3).
+//
+// Wireless sensors in the plane form a doubling metric. Keeping every
+// radio link wastes energy; keeping only the MST makes routes circuitous.
+// The (1+eps)-light spanner of Theorem 5 keeps near-straight routes on a
+// near-MST energy budget — the input to TSP-style data-collection tours
+// ([Kle05], [Got15]).
+//
+//   ./examples/sensor_doubling [n] [eps_denominator]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/doubling_spanner.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/mst.h"
+
+using namespace lightnet;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 96;
+  const int inv_eps = argc > 2 ? std::atoi(argv[2]) : 8;
+  const double eps = 1.0 / inv_eps;
+
+  const GeometricGraph sensors = random_geometric(n, 3.0 / std::sqrt(n), 5);
+  const WeightedGraph& g = sensors.graph;
+  std::printf("sensor field: %d nodes in the unit square, %d radio links\n",
+              n, g.num_edges());
+  std::printf("estimated doubling dimension: %.1f\n\n",
+              estimate_doubling_dimension(g, 3, 1));
+
+  DoublingSpannerParams params;
+  params.epsilon = eps;
+  params.seed = 5;
+  const DoublingSpannerResult spanner = build_doubling_spanner(g, params);
+
+  auto degree_stats = [&](std::span<const EdgeId> edges) {
+    std::vector<int> deg(static_cast<size_t>(n), 0);
+    for (EdgeId id : edges) {
+      ++deg[static_cast<size_t>(g.edge(id).u)];
+      ++deg[static_cast<size_t>(g.edge(id).v)];
+    }
+    int max_deg = 0;
+    double avg = 0.0;
+    for (int d : deg) {
+      max_deg = std::max(max_deg, d);
+      avg += d;
+    }
+    return std::pair{avg / n, max_deg};
+  };
+
+  std::printf("%-24s %8s %10s %10s %9s %8s\n", "topology", "links",
+              "avg deg", "max deg", "energy", "stretch");
+  std::vector<EdgeId> all(static_cast<size_t>(g.num_edges()));
+  for (EdgeId id = 0; id < g.num_edges(); ++id) all[static_cast<size_t>(id)] =
+      id;
+  auto [avg_all, max_all] = degree_stats(all);
+  std::printf("%-24s %8d %10.1f %10d %8.1fx %8.2f\n", "all radio links",
+              g.num_edges(), avg_all, max_all, lightness(g, all), 1.0);
+  const auto mst = kruskal_mst(g);
+  auto [avg_mst, max_mst] = degree_stats(mst);
+  std::printf("%-24s %8zu %10.1f %10d %8.1fx %8.2f\n", "MST", mst.size(),
+              avg_mst, max_mst, 1.0, max_edge_stretch(g, mst));
+  auto [avg_sp, max_sp] = degree_stats(spanner.spanner);
+  char label[64];
+  std::snprintf(label, sizeof(label), "doubling spanner e=1/%d", inv_eps);
+  std::printf("%-24s %8zu %10.1f %10d %8.1fx %8.2f\n", label,
+              spanner.spanner.size(), avg_sp, max_sp,
+              lightness(g, spanner.spanner),
+              max_edge_stretch(g, spanner.spanner));
+
+  std::printf("\nper-scale construction (%zu scales):\n",
+              spanner.scales.size());
+  std::printf("  %12s %10s %14s %22s\n", "scale", "net size",
+              "pairs joined", "max sources/vertex");
+  for (size_t i = 0; i < spanner.scales.size();
+       i += std::max<size_t>(1, spanner.scales.size() / 8)) {
+    const ScaleDiagnostics& s = spanner.scales[i];
+    std::printf("  %12.4f %10zu %14zu %22zu\n", s.scale, s.net_size,
+                s.pairs_connected, s.max_sources_per_vertex);
+  }
+  std::printf("\nCONGEST cost: %llu rounds, %llu messages\n",
+              static_cast<unsigned long long>(spanner.ledger.total().rounds),
+              static_cast<unsigned long long>(
+                  spanner.ledger.total().messages));
+  return 0;
+}

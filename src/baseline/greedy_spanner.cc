@@ -1,0 +1,70 @@
+#include "baseline/greedy_spanner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/shortest_paths.h"
+#include "support/assert.h"
+
+namespace lightnet {
+
+namespace {
+
+// Distance-bounded Dijkstra on an adjacency structure that grows as the
+// greedy spanner accretes edges.
+bool within_distance(const std::vector<std::vector<Incidence>>& adj,
+                     const WeightedGraph& g, VertexId from, VertexId to,
+                     Weight bound) {
+  struct Entry {
+    Weight dist;
+    VertexId v;
+    bool operator>(const Entry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  std::vector<Weight> dist(adj.size(), kInfiniteDistance);
+  dist[static_cast<size_t>(from)] = 0.0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;
+    if (v == to) return true;
+    for (const Incidence& inc : adj[static_cast<size_t>(v)]) {
+      const Weight nd = d + g.edge(inc.edge).w;
+      if (nd > bound) continue;
+      if (nd < dist[static_cast<size_t>(inc.neighbor)]) {
+        dist[static_cast<size_t>(inc.neighbor)] = nd;
+        pq.push({nd, inc.neighbor});
+      }
+    }
+  }
+  return dist[static_cast<size_t>(to)] <= bound;
+}
+
+}  // namespace
+
+std::vector<EdgeId> greedy_spanner(const WeightedGraph& g, double t) {
+  LN_REQUIRE(t >= 1.0, "stretch must be at least 1");
+  std::vector<EdgeId> order(static_cast<size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&g](EdgeId a, EdgeId b) {
+    if (g.edge(a).w != g.edge(b).w) return g.edge(a).w < g.edge(b).w;
+    return a < b;
+  });
+  std::vector<std::vector<Incidence>> adj(
+      static_cast<size_t>(g.num_vertices()));
+  std::vector<EdgeId> spanner;
+  for (EdgeId id : order) {
+    const Edge& e = g.edge(id);
+    if (!within_distance(adj, g, e.u, e.v, t * e.w)) {
+      spanner.push_back(id);
+      adj[static_cast<size_t>(e.u)].push_back({id, e.v});
+      adj[static_cast<size_t>(e.v)].push_back({id, e.u});
+    }
+  }
+  std::sort(spanner.begin(), spanner.end());
+  return spanner;
+}
+
+}  // namespace lightnet

@@ -1,0 +1,19 @@
+// The greedy (2k-1)-spanner [ADD+93] — sequential baseline.
+//
+// Scans edges by increasing weight and keeps an edge iff the spanner built
+// so far has no path within stretch t = (2k-1)·(1+ε). [FS16] shows this is
+// existentially optimal, and [CW18] that it achieves lightness O(n^{1/k}),
+// so it is the quality bar the distributed Theorem 2 construction is
+// benchmarked against.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lightnet {
+
+// stretch parameter t ≥ 1 (use (2k-1)(1+ε) for the paper's comparison).
+std::vector<EdgeId> greedy_spanner(const WeightedGraph& g, double t);
+
+}  // namespace lightnet

@@ -1,0 +1,24 @@
+// Sequential shallow-light tree of Khuller, Raghavachari and Young
+// ([KRY95], "balancing minimum spanning trees and shortest-path trees").
+//
+// The optimal sequential tradeoff the distributed Theorem 1 construction is
+// compared against: for α > 1, a spanning tree with root stretch ≤ α and
+// lightness ≤ 1 + 2/(α-1). Classic DFS-relaxation algorithm: walk the MST,
+// carry a distance estimate, and graft the shortest path whenever the
+// estimate exceeds α times the true root distance.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct KrySltResult {
+  std::vector<EdgeId> tree_edges;
+  size_t grafted_paths = 0;  // how many SPT paths were added
+};
+
+KrySltResult kry_slt(const WeightedGraph& g, VertexId rt, double alpha);
+
+}  // namespace lightnet

@@ -1,0 +1,26 @@
+#include "baseline/sequential_net.h"
+
+#include "graph/shortest_paths.h"
+#include "support/assert.h"
+
+namespace lightnet {
+
+std::vector<VertexId> greedy_net(const WeightedGraph& g, double beta) {
+  LN_REQUIRE(beta > 0.0, "beta must be positive");
+  std::vector<VertexId> net;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    // Bounded Dijkstra from v: any net point within beta blocks v.
+    const ShortestPathTree t = dijkstra_bounded(g, v, beta);
+    bool blocked = false;
+    for (VertexId u : net) {
+      if (t.dist[static_cast<size_t>(u)] <= beta) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) net.push_back(v);
+  }
+  return net;
+}
+
+}  // namespace lightnet

@@ -1,0 +1,15 @@
+// Greedy sequential (α, β)-net — the "inherently sequential" baseline the
+// paper contrasts Theorem 3 against (§1.3).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lightnet {
+
+// Scans vertices in id order; v joins the net iff no current net point is
+// within distance `beta`. Produces a (beta, beta)-net.
+std::vector<VertexId> greedy_net(const WeightedGraph& g, double beta);
+
+}  // namespace lightnet

@@ -1,0 +1,37 @@
+// Distributed synchronous Bellman-Ford.
+//
+// After t rounds every vertex holds the exact min over ≤t-hop paths from the
+// source set, so running to quiescence yields exact distances, and capping
+// rounds at β yields the β-hop-bounded distances d^(β) used by the hopset
+// machinery (§7.1). A distance bound Δ prunes the exploration ball, which is
+// what "Δ-bounded shortest paths" means in the paper.
+#pragma once
+
+#include <climits>
+#include <span>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+#include "graph/shortest_paths.h"
+
+namespace lightnet::congest {
+
+struct BellmanFordOptions {
+  Weight distance_bound = kInfiniteDistance;  // ignore paths longer than this
+  int max_hops = INT_MAX;                     // ≤ this many edges per path
+};
+
+struct BellmanFordResult {
+  std::vector<Weight> dist;        // infinity if outside bound / unreachable
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<VertexId> owner;     // nearest source (kNoVertex if none)
+  CostStats cost;
+};
+
+BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
+                                           std::span<const VertexId> sources,
+                                           BellmanFordOptions options = {});
+
+}  // namespace lightnet::congest

@@ -1,0 +1,85 @@
+#include "congest/bfs.h"
+
+#include <memory>
+
+#include "congest/scheduler.h"
+#include "support/assert.h"
+
+namespace lightnet::congest {
+
+namespace {
+
+constexpr std::uint32_t kTagBfs = 1;
+
+class BfsProgram final : public NodeProgram {
+ public:
+  BfsProgram(VertexId self, VertexId root, std::vector<VertexId>& parent,
+             std::vector<int>& depth)
+      : self_(self), root_(root), parent_(parent), depth_(depth) {}
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    if (ctx.round() == 0 && self_ == root_) {
+      depth_[static_cast<size_t>(self_)] = 0;
+      joined_ = true;
+      announce_ = true;
+    }
+    for (const Delivery& d : inbox) {
+      if (joined_) break;
+      // First announcement wins; ties broken by sender id via inbox order
+      // being deterministic (links are scanned in CSR order).
+      joined_ = true;
+      parent_[static_cast<size_t>(self_)] = d.from;
+      depth_[static_cast<size_t>(self_)] =
+          static_cast<int>(d.msg.word(0)) + 1;
+      announce_ = true;
+    }
+    if (announce_) {
+      const Message msg(kTagBfs,
+                        {static_cast<std::uint64_t>(
+                            depth_[static_cast<size_t>(self_)])});
+      for (const Incidence& inc : ctx.links())
+        if (inc.neighbor != parent_[static_cast<size_t>(self_)])
+          ctx.send(inc.neighbor, msg);
+      announce_ = false;
+    }
+  }
+
+  bool quiescent() const override { return !announce_; }
+
+ private:
+  VertexId self_;
+  VertexId root_;
+  std::vector<VertexId>& parent_;
+  std::vector<int>& depth_;
+  bool joined_ = false;
+  bool announce_ = false;
+};
+
+}  // namespace
+
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root) {
+  LN_REQUIRE(root >= 0 && root < g.num_vertices(), "root out of range");
+  BfsTreeResult result;
+  result.root = root;
+  result.parent.assign(static_cast<size_t>(g.num_vertices()), kNoVertex);
+  result.depth.assign(static_cast<size_t>(g.num_vertices()), -1);
+
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    programs.push_back(
+        std::make_unique<BfsProgram>(v, root, result.parent, result.depth));
+  Scheduler scheduler(net, std::move(programs));
+  result.cost = scheduler.run();
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    LN_REQUIRE(result.depth[static_cast<size_t>(v)] >= 0,
+               "graph is not connected");
+    result.height =
+        std::max(result.height, result.depth[static_cast<size_t>(v)]);
+  }
+  return result;
+}
+
+}  // namespace lightnet::congest

@@ -1,0 +1,25 @@
+// Distributed BFS tree construction (the tree τ of §2).
+//
+// Flood-fill from the root: O(D) rounds, one message per edge direction.
+// Every phase in the paper assumes τ is available; we build it once per
+// algorithm and charge its cost.
+#pragma once
+
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet::congest {
+
+struct BfsTreeResult {
+  VertexId root = kNoVertex;
+  std::vector<VertexId> parent;  // kNoVertex at root
+  std::vector<int> depth;        // hops from root
+  int height = 0;                // max depth
+  CostStats cost;
+};
+
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root);
+
+}  // namespace lightnet::congest

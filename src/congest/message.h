@@ -1,0 +1,61 @@
+// CONGEST messages.
+//
+// The model allows O(log n) bits per edge per round; we model that as a
+// small fixed number of 64-bit words (ids and quantized distances each fit
+// a word). The scheduler rejects oversized messages, so a program that
+// compiles against this interface cannot silently cheat the model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "graph/graph.h"
+#include "support/assert.h"
+
+namespace lightnet::congest {
+
+// Max words in one message. 3 words ≈ (id, id, value) — the largest tuple
+// any algorithm in the paper sends in a single round.
+inline constexpr int kMaxWords = 3;
+
+struct Message {
+  std::uint32_t tag = 0;
+  std::array<std::uint64_t, kMaxWords> words{};
+  std::uint8_t size = 0;
+
+  Message() = default;
+  Message(std::uint32_t t, std::initializer_list<std::uint64_t> ws) : tag(t) {
+    LN_ASSERT_MSG(ws.size() <= kMaxWords, "message exceeds CONGEST budget");
+    for (std::uint64_t w : ws) words[size++] = w;
+  }
+
+  std::uint64_t word(int i) const {
+    LN_ASSERT(i >= 0 && i < size);
+    return words[static_cast<size_t>(i)];
+  }
+
+  // Doubles are shipped bit-cast into a word; distances are nonnegative so
+  // this is an order-preserving encoding, but we only ever decode, never
+  // compare encoded forms.
+  static std::uint64_t encode_weight(Weight w) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(w));
+    __builtin_memcpy(&bits, &w, sizeof(bits));
+    return bits;
+  }
+  static Weight decode_weight(std::uint64_t bits) {
+    Weight w;
+    __builtin_memcpy(&w, &bits, sizeof(w));
+    return w;
+  }
+};
+
+// A message as seen by its receiver.
+struct Delivery {
+  VertexId from = kNoVertex;
+  EdgeId edge = kNoEdge;
+  Message msg;
+};
+
+}  // namespace lightnet::congest

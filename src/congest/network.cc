@@ -1,0 +1,3 @@
+#include "congest/network.h"
+
+// Header-only for now; translation unit kept for build-surface uniformity.

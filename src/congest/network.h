@@ -1,0 +1,31 @@
+// The communication network a CONGEST execution runs on.
+//
+// Thin, validated view over a WeightedGraph: vertices are processors, edges
+// are links. Kept separate from WeightedGraph so algorithm code states
+// explicitly which graph is the *communication* topology (the paper's §5
+// makes exactly this distinction: the cluster graph G_i is simulated on the
+// physical network G).
+#pragma once
+
+#include "graph/graph.h"
+
+namespace lightnet::congest {
+
+class Network {
+ public:
+  explicit Network(const WeightedGraph& g) : graph_(&g) {}
+
+  const WeightedGraph& graph() const { return *graph_; }
+  int num_nodes() const { return graph_->num_vertices(); }
+  std::span<const Incidence> links(VertexId v) const {
+    return graph_->incident(v);
+  }
+  bool are_neighbors(VertexId u, VertexId v) const {
+    return graph_->find_edge(u, v) != kNoEdge;
+  }
+
+ private:
+  const WeightedGraph* graph_;
+};
+
+}  // namespace lightnet::congest

@@ -1,0 +1,92 @@
+#include "congest/scheduler.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace lightnet::congest {
+
+void NodeContext::send(VertexId neighbor, const Message& msg) {
+  scheduler_->enqueue(self_, neighbor, msg);
+}
+
+Scheduler::Scheduler(const Network& network,
+                     std::vector<std::unique_ptr<NodeProgram>> programs,
+                     SchedulerOptions options)
+    : network_(&network), programs_(std::move(programs)), options_(options) {
+  LN_REQUIRE(static_cast<int>(programs_.size()) == network.num_nodes(),
+             "one program per node required");
+  const size_t n = programs_.size();
+  current_inbox_.resize(n);
+  next_inbox_.resize(n);
+  edge_load_.assign(static_cast<size_t>(network.graph().num_edges()) * 2, 0);
+}
+
+void Scheduler::enqueue(VertexId from, VertexId to, const Message& msg) {
+  const EdgeId edge = network_->graph().find_edge(from, to);
+  LN_ASSERT_MSG(edge != kNoEdge, "send target is not a neighbor");
+  LN_ASSERT_MSG(msg.size <= kMaxWords, "message exceeds word budget");
+  const size_t dir_index = static_cast<size_t>(edge) * 2 +
+                           (network_->graph().edge(edge).u == from ? 0 : 1);
+  if (edge_load_[dir_index] == 0) touched_edges_.push_back(edge);
+  ++edge_load_[dir_index];
+  if (options_.strict_congest) {
+    LN_ASSERT_MSG(edge_load_[dir_index] <= 1,
+                  "CONGEST violation: >1 message on an edge in one round");
+  }
+  next_inbox_[static_cast<size_t>(to)].push_back({from, edge, msg});
+  ++in_flight_;
+  ++stats_.messages;
+  stats_.words += msg.size;
+}
+
+CostStats Scheduler::run() {
+  const int n = network_->num_nodes();
+  NodeContext ctx;
+  ctx.network_ = network_;
+  ctx.scheduler_ = this;
+
+  for (int round = 0;; ++round) {
+    LN_ASSERT_MSG(round < options_.max_rounds,
+                  "scheduler round cap exceeded (non-terminating program?)");
+    ctx.round_ = round;
+
+    // Reset per-round congestion tracking.
+    for (EdgeId e : touched_edges_) {
+      std::uint64_t load = std::max(edge_load_[static_cast<size_t>(e) * 2],
+                                    edge_load_[static_cast<size_t>(e) * 2 + 1]);
+      stats_.max_edge_load = std::max(stats_.max_edge_load, load);
+      edge_load_[static_cast<size_t>(e) * 2] = 0;
+      edge_load_[static_cast<size_t>(e) * 2 + 1] = 0;
+    }
+    touched_edges_.clear();
+
+    // Deliver messages queued last round.
+    std::swap(current_inbox_, next_inbox_);
+    std::uint64_t delivered = 0;
+    for (auto& box : current_inbox_) delivered += box.size();
+    in_flight_ -= delivered;
+
+    bool all_quiescent = true;
+    for (VertexId v = 0; v < n; ++v) {
+      ctx.self_ = v;
+      auto& inbox = current_inbox_[static_cast<size_t>(v)];
+      programs_[static_cast<size_t>(v)]->on_round(ctx, inbox);
+      inbox.clear();
+      if (!programs_[static_cast<size_t>(v)]->quiescent())
+        all_quiescent = false;
+    }
+
+    stats_.rounds = static_cast<std::uint64_t>(round) + 1;
+    if (all_quiescent && in_flight_ == 0) break;
+  }
+  // Account the final round's (empty) congestion window.
+  for (EdgeId e : touched_edges_) {
+    std::uint64_t load = std::max(edge_load_[static_cast<size_t>(e) * 2],
+                                  edge_load_[static_cast<size_t>(e) * 2 + 1]);
+    stats_.max_edge_load = std::max(stats_.max_edge_load, load);
+  }
+  return stats_;
+}
+
+}  // namespace lightnet::congest

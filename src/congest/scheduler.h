@@ -1,0 +1,109 @@
+// Synchronous round scheduler for the CONGEST model.
+//
+// An algorithm is a NodeProgram instantiated at every vertex. Each round the
+// scheduler delivers the previous round's messages and invokes every node's
+// on_round; outgoing messages appear in neighbors' inboxes next round.
+// Execution ends when every program reports quiescence and no messages are
+// in flight (the simulator plays the role of a termination detector; a real
+// deployment would add an O(D) termination-detection phase, which is
+// dominated by every phase cost in this library).
+//
+// Congestion: the scheduler counts messages per (edge, direction) per round.
+// In strict mode, more than one message on a directed edge in a round —
+// i.e., exceeding the O(log n)-bit budget — aborts the run. Primitives in
+// this library are written to pass strict mode; the max_edge_load stat
+// proves it per execution.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "congest/message.h"
+#include "congest/network.h"
+#include "congest/stats.h"
+
+namespace lightnet::congest {
+
+class NodeContext;
+
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  // Called every round with the messages delivered this round.
+  virtual void on_round(NodeContext& ctx, std::span<const Delivery> inbox) = 0;
+  // True when the node has no more work to initiate. The run ends when all
+  // nodes are quiescent AND no messages are in flight.
+  virtual bool quiescent() const = 0;
+};
+
+class Scheduler;
+
+// Per-node handle passed into on_round.
+class NodeContext {
+ public:
+  VertexId self() const { return self_; }
+  int round() const { return round_; }
+  const Network& network() const { return *network_; }
+  std::span<const Incidence> links() const { return network_->links(self_); }
+
+  // Queues a message to a neighbor for delivery next round.
+  void send(VertexId neighbor, const Message& msg);
+
+ private:
+  friend class Scheduler;
+  VertexId self_ = kNoVertex;
+  int round_ = 0;
+  const Network* network_ = nullptr;
+  Scheduler* scheduler_ = nullptr;
+};
+
+struct SchedulerOptions {
+  // Hard cap on rounds; exceeding it is an LN_ASSERT failure (indicates a
+  // non-terminating program).
+  int max_rounds = 1'000'000;
+  // Abort if any directed edge carries more than one message in one round.
+  bool strict_congest = true;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Network& network,
+            std::vector<std::unique_ptr<NodeProgram>> programs,
+            SchedulerOptions options = {});
+
+  // Runs rounds until global quiescence; returns the cost.
+  CostStats run();
+
+  NodeProgram& program(VertexId v) { return *programs_[static_cast<size_t>(v)]; }
+
+ private:
+  friend class NodeContext;
+  void enqueue(VertexId from, VertexId to, const Message& msg);
+
+  const Network* network_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  SchedulerOptions options_;
+  std::vector<std::vector<Delivery>> current_inbox_;
+  std::vector<std::vector<Delivery>> next_inbox_;
+  std::uint64_t in_flight_ = 0;
+  CostStats stats_;
+  // Per-round congestion tracking: messages sent on each directed edge.
+  std::vector<std::uint32_t> edge_load_;  // indexed by 2*edge + direction
+  std::vector<EdgeId> touched_edges_;
+};
+
+// Convenience: instantiate `Program` (constructed from (VertexId, Args...))
+// at every node and run to quiescence.
+template <typename Program, typename... Args>
+std::pair<std::vector<std::unique_ptr<NodeProgram>>, int> make_programs_impl(
+    int n, Args&&... args) {
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    programs.push_back(std::make_unique<Program>(v, args...));
+  return {std::move(programs), n};
+}
+
+}  // namespace lightnet::congest

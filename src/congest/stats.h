@@ -1,0 +1,75 @@
+// Cost accounting for CONGEST executions.
+//
+// The paper's results are round-complexity statements; every lightnet
+// algorithm therefore returns a CostStats alongside its output. Phased
+// algorithms (SLT, light spanner, ...) accumulate their phases in a
+// RoundLedger, mirroring how the paper sums the costs of its building
+// blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lightnet::congest {
+
+struct CostStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  // Max number of messages crossing a single directed edge in one round; 1
+  // means the execution was strictly CONGEST-legal round by round.
+  std::uint64_t max_edge_load = 0;
+
+  CostStats& operator+=(const CostStats& o) {
+    rounds += o.rounds;
+    messages += o.messages;
+    words += o.words;
+    max_edge_load = max_edge_load > o.max_edge_load ? max_edge_load
+                                                    : o.max_edge_load;
+    return *this;
+  }
+};
+
+// Named phase costs; `total()` is what benches report, the per-phase
+// breakdown is what EXPERIMENTS.md tables show.
+class RoundLedger {
+ public:
+  void add(std::string phase, const CostStats& cost) {
+    phases_.emplace_back(std::move(phase), cost);
+    total_ += cost;
+  }
+
+  // Lemma 1 (pipelined broadcast/convergecast of M messages over the BFS
+  // tree): O(M + D) rounds. The message-level primitive in tree_ops.* is
+  // implemented and tested; phases that the paper describes as "broadcast
+  // these M items" charge its cost through this helper.
+  void charge_global_broadcast(std::string phase, std::uint64_t num_items,
+                               std::uint64_t hop_diameter) {
+    CostStats c;
+    c.rounds = num_items + 2 * hop_diameter + 1;
+    c.messages = num_items * (hop_diameter + 1);
+    c.words = c.messages * 2;
+    c.max_edge_load = 1;
+    add(std::move(phase), c);
+  }
+
+  // Folds another ledger's phases into this one under a prefix; used by the
+  // top-level constructions (SLT, light spanner, ...) to keep the full
+  // per-phase breakdown of their substrates.
+  void absorb(const RoundLedger& other, const std::string& prefix) {
+    for (const auto& [name, cost] : other.phases_)
+      add(prefix + "/" + name, cost);
+  }
+
+  const CostStats& total() const { return total_; }
+  const std::vector<std::pair<std::string, CostStats>>& phases() const {
+    return phases_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, CostStats>> phases_;
+  CostStats total_;
+};
+
+}  // namespace lightnet::congest

@@ -1,0 +1,249 @@
+#include "congest/tree_ops.h"
+
+#include <limits>
+#include <memory>
+#include <unordered_set>
+
+#include "congest/scheduler.h"
+#include "support/assert.h"
+
+namespace lightnet::congest {
+
+namespace {
+
+constexpr std::uint32_t kTagGather = 10;
+constexpr std::uint32_t kTagBroadcast = 11;
+constexpr std::uint32_t kTagAggregate = 12;
+
+class GatherProgram final : public NodeProgram {
+ public:
+  GatherProgram(VertexId self, const BfsTreeResult& tree,
+                std::vector<TreeItem> own, bool dedupe,
+                std::vector<TreeItem>& root_sink)
+      : self_(self), tree_(tree), dedupe_(dedupe), root_sink_(root_sink) {
+    for (TreeItem& item : own) accept(item);
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    for (const Delivery& d : inbox) {
+      LN_ASSERT(d.msg.tag == kTagGather);
+      accept({d.msg.word(0), d.msg.word(1), d.msg.word(2)});
+    }
+    if (self_ != tree_.root && cursor_ < queue_.size()) {
+      const TreeItem& item = queue_[cursor_++];
+      ctx.send(tree_.parent[static_cast<size_t>(self_)],
+               Message(kTagGather, {item.key, item.a, item.b}));
+    }
+  }
+
+  bool quiescent() const override {
+    return self_ == tree_.root || cursor_ >= queue_.size();
+  }
+
+ private:
+  void accept(const TreeItem& item) {
+    if (dedupe_ && !seen_keys_.insert(item.key).second) return;
+    if (self_ == tree_.root) {
+      root_sink_.push_back(item);
+    } else {
+      queue_.push_back(item);
+    }
+  }
+
+  VertexId self_;
+  const BfsTreeResult& tree_;
+  bool dedupe_;
+  std::vector<TreeItem>& root_sink_;
+  std::vector<TreeItem> queue_;
+  size_t cursor_ = 0;
+  std::unordered_set<std::uint64_t> seen_keys_;
+};
+
+class BroadcastProgram final : public NodeProgram {
+ public:
+  BroadcastProgram(VertexId self, const BfsTreeResult& tree,
+                   const std::vector<std::vector<VertexId>>& children,
+                   const std::vector<TreeItem>& items,
+                   std::vector<int>& received_counts)
+      : self_(self), tree_(tree),
+        children_(children[static_cast<size_t>(self)]),
+        received_counts_(received_counts) {
+    if (self_ == tree_.root) {
+      queue_ = items;
+      received_counts_[static_cast<size_t>(self_)] =
+          static_cast<int>(items.size());
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    for (const Delivery& d : inbox) {
+      LN_ASSERT(d.msg.tag == kTagBroadcast);
+      queue_.push_back({d.msg.word(0), d.msg.word(1), d.msg.word(2)});
+      ++received_counts_[static_cast<size_t>(self_)];
+    }
+    if (cursor_ < queue_.size()) {
+      const TreeItem& item = queue_[cursor_++];
+      const Message msg(kTagBroadcast, {item.key, item.a, item.b});
+      for (VertexId child : children_) ctx.send(child, msg);
+    }
+  }
+
+  bool quiescent() const override { return cursor_ >= queue_.size(); }
+
+ private:
+  VertexId self_;
+  const BfsTreeResult& tree_;
+  const std::vector<VertexId>& children_;
+  std::vector<int>& received_counts_;
+  std::vector<TreeItem> queue_;
+  size_t cursor_ = 0;
+};
+
+class AggregateProgram final : public NodeProgram {
+ public:
+  AggregateProgram(VertexId self, const BfsTreeResult& tree, int num_keys,
+                   int num_children, std::vector<TreeItem> own,
+                   std::vector<TreeItem>& root_sink)
+      : self_(self), tree_(tree), num_keys_(num_keys),
+        num_children_(num_children), root_sink_(root_sink) {
+    best_.assign(static_cast<size_t>(num_keys), TreeItem{});
+    best_value_.assign(static_cast<size_t>(num_keys),
+                       -std::numeric_limits<Weight>::infinity());
+    received_.assign(static_cast<size_t>(num_keys), 0);
+    for (const TreeItem& item : own) {
+      LN_ASSERT(item.key < static_cast<std::uint64_t>(num_keys));
+      consider(item);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    for (const Delivery& d : inbox) {
+      LN_ASSERT(d.msg.tag == kTagAggregate);
+      TreeItem item{d.msg.word(0), d.msg.word(1), d.msg.word(2)};
+      consider(item);
+      ++received_[static_cast<size_t>(item.key)];
+    }
+    if (self_ == tree_.root) {
+      // Root finalizes keys in order as their subtrees complete.
+      while (cursor_ < num_keys_ &&
+             received_[static_cast<size_t>(cursor_)] == num_children_) {
+        root_sink_.push_back(finalized(cursor_));
+        ++cursor_;
+      }
+      return;
+    }
+    if (cursor_ < num_keys_ &&
+        received_[static_cast<size_t>(cursor_)] == num_children_) {
+      const TreeItem item = finalized(cursor_);
+      ++cursor_;
+      ctx.send(tree_.parent[static_cast<size_t>(self_)],
+               Message(kTagAggregate, {item.key, item.a, item.b}));
+    }
+  }
+
+  bool quiescent() const override { return cursor_ >= num_keys_; }
+
+ private:
+  void consider(const TreeItem& item) {
+    const Weight value = Message::decode_weight(item.a);
+    if (value > best_value_[item.key]) {
+      best_value_[item.key] = value;
+      best_[item.key] = item;
+    }
+  }
+
+  TreeItem finalized(int key) {
+    TreeItem item = best_[static_cast<size_t>(key)];
+    item.key = static_cast<std::uint64_t>(key);
+    if (best_value_[static_cast<size_t>(key)] ==
+        -std::numeric_limits<Weight>::infinity()) {
+      item.a = Message::encode_weight(
+          -std::numeric_limits<Weight>::infinity());
+    }
+    return item;
+  }
+
+  VertexId self_;
+  const BfsTreeResult& tree_;
+  int num_keys_;
+  int num_children_;
+  std::vector<TreeItem>& root_sink_;
+  std::vector<TreeItem> best_;
+  std::vector<Weight> best_value_;
+  std::vector<int> received_;
+  int cursor_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> bfs_children(const BfsTreeResult& tree) {
+  std::vector<std::vector<VertexId>> children(tree.parent.size());
+  for (size_t v = 0; v < tree.parent.size(); ++v)
+    if (tree.parent[v] != kNoVertex)
+      children[static_cast<size_t>(tree.parent[v])].push_back(
+          static_cast<VertexId>(v));
+  return children;
+}
+
+GatherResult gather_to_root(const WeightedGraph& g, const BfsTreeResult& tree,
+                            const std::vector<std::vector<TreeItem>>& items,
+                            bool dedupe_by_key) {
+  LN_REQUIRE(static_cast<int>(items.size()) == g.num_vertices(),
+             "one item list per vertex required");
+  GatherResult result;
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(items.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    programs.push_back(std::make_unique<GatherProgram>(
+        v, tree, items[static_cast<size_t>(v)], dedupe_by_key, result.items));
+  Scheduler scheduler(net, std::move(programs));
+  result.cost = scheduler.run();
+  return result;
+}
+
+BroadcastResult broadcast_from_root(const WeightedGraph& g,
+                                    const BfsTreeResult& tree,
+                                    const std::vector<TreeItem>& items) {
+  BroadcastResult result;
+  const auto children = bfs_children(tree);
+  std::vector<int> received(static_cast<size_t>(g.num_vertices()), 0);
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    programs.push_back(std::make_unique<BroadcastProgram>(
+        v, tree, children, items, received));
+  Scheduler scheduler(net, std::move(programs));
+  result.cost = scheduler.run();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == tree.root) continue;
+    LN_ASSERT_MSG(received[static_cast<size_t>(v)] ==
+                      static_cast<int>(items.size()),
+                  "broadcast did not reach every vertex");
+  }
+  return result;
+}
+
+KeyedAggregateResult keyed_max_aggregate(
+    const WeightedGraph& g, const BfsTreeResult& tree, int num_keys,
+    const std::vector<std::vector<TreeItem>>& contributions) {
+  LN_REQUIRE(static_cast<int>(contributions.size()) == g.num_vertices(),
+             "one contribution list per vertex required");
+  KeyedAggregateResult result;
+  const auto children = bfs_children(tree);
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    programs.push_back(std::make_unique<AggregateProgram>(
+        v, tree, num_keys,
+        static_cast<int>(children[static_cast<size_t>(v)].size()),
+        contributions[static_cast<size_t>(v)], result.best));
+  Scheduler scheduler(net, std::move(programs));
+  result.cost = scheduler.run();
+  LN_ASSERT(static_cast<int>(result.best.size()) == num_keys);
+  return result;
+}
+
+}  // namespace lightnet::congest

@@ -1,0 +1,48 @@
+// Light spanner for doubling graphs (§7, Theorem 5).
+//
+// For every distance scale Δ = (1+ε)^i: build a net with covering radius
+// ε·Δ/2 (via Theorem 3 with δ = 1/2), run Δ-bounded multi-source
+// (1+ε)-approximate explorations from the net points, and add the reported
+// path between every pair of net points within 2Δ. Stretch follows by
+// induction over scales, lightness by the packing argument (Lemma 6 +
+// Claim 7); the per-scale diagnostics expose both certificates
+// (net size vs. Claim 7's ⌈2L/r⌉, and max_sources_per_vertex vs. the
+// packing bound).
+//
+// use_hopset switches the explorations to the hopset-accelerated variant
+// (§7.1), bounding Bellman-Ford iterations on deep graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct DoublingSpannerParams {
+  double epsilon = 0.125;  // paper analyzes ε < 1/8; larger values run but
+                           // carry the rescaled constant
+  std::uint64_t seed = 1;
+  bool use_hopset = false;
+};
+
+struct ScaleDiagnostics {
+  double scale = 0.0;            // Δ
+  size_t net_size = 0;
+  size_t pairs_connected = 0;
+  size_t max_sources_per_vertex = 0;  // packing certificate
+  int net_iterations = 0;
+};
+
+struct DoublingSpannerResult {
+  std::vector<EdgeId> spanner;
+  congest::RoundLedger ledger;
+  std::vector<ScaleDiagnostics> scales;
+};
+
+DoublingSpannerResult build_doubling_spanner(
+    const WeightedGraph& g, const DoublingSpannerParams& params);
+
+}  // namespace lightnet

@@ -1,0 +1,52 @@
+// Elkin-Neiman spanner for unweighted graphs ([EN17b]).
+//
+// The randomized (2k-1)-spanner the light-spanner construction (§5)
+// simulates on each cluster graph G_i: every node samples r(x) ~ Exp(λ)
+// conditioned on r(x) < k, the values m(x) = max_u (r(u) - d(u,x)) are
+// computed by k rounds of max-propagation with unit decrements, and each
+// node keeps one edge per distinct final source s(v) among neighbors v with
+// m(v) ≥ m(x) - 1.
+//
+// The algorithm itself is graph-agnostic; it runs here on an abstract
+// ClusterGraph whose edges remember a representative edge of the underlying
+// weighted graph. §5's Case 1 / Case 2 machinery pays the CONGEST cost of
+// realizing each propagation round on the physical network.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace lightnet {
+
+struct ClusterGraph {
+  int num_nodes = 0;
+  // adj[x] = (neighbor, representative original edge), unique per neighbor.
+  std::vector<std::vector<std::pair<int, EdgeId>>> adj;
+
+  static ClusterGraph from_cluster_edges(
+      int num_nodes, const std::vector<std::pair<std::pair<int, int>, EdgeId>>&
+                         cluster_edges);
+};
+
+struct ElkinNeimanRound {
+  std::vector<double> m;  // value per node after this round
+  std::vector<int> s;     // source per node after this round
+};
+
+struct ElkinNeimanResult {
+  std::vector<std::pair<int, int>> cluster_edges;   // chosen (x, v) pairs
+  std::vector<EdgeId> representative_edges;         // deduped G-edges
+  std::vector<ElkinNeimanRound> rounds;             // round-by-round trace
+  int resample_count = 0;                           // r(x) ≥ k rejections
+};
+
+// k ≥ 1; rng drives both the exponential samples and nothing else (callers
+// pass a dedicated stream so the trace is reproducible).
+ElkinNeimanResult elkin_neiman_spanner(const ClusterGraph& cg, int k,
+                                       Rng& rng);
+
+}  // namespace lightnet

@@ -1,0 +1,96 @@
+#include "core/nets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "routines/approx_spt.h"
+#include "routines/le_lists.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace lightnet {
+
+NetResult build_net(const WeightedGraph& g, const NetParams& params) {
+  LN_REQUIRE(params.radius > 0.0, "net radius must be positive");
+  LN_REQUIRE(params.delta >= 0.0, "delta must be nonnegative");
+  const int n = g.num_vertices();
+  const Weight delta_radius = params.radius;
+  const double delta = params.delta;
+  NetResult result;
+  if (n == 0) return result;
+
+  const int cap = params.max_iterations > 0
+                      ? params.max_iterations
+                      : 8 * static_cast<int>(std::ceil(std::log2(
+                            std::max(2, n)))) +
+                            16;
+  Rng rng(params.seed ^ 0x4e455453ULL);
+
+  std::vector<char> active(static_cast<size_t>(n), 1);
+  std::vector<char> in_net(static_cast<size_t>(n), 0);
+
+  for (int iter = 0; iter < cap; ++iter) {
+    std::vector<VertexId> active_set;
+    for (VertexId v = 0; v < n; ++v)
+      if (active[static_cast<size_t>(v)]) active_set.push_back(v);
+    if (active_set.empty()) break;
+    result.iterations = iter + 1;
+
+    // Uniform permutation via distinct random 64-bit ranks.
+    std::vector<std::uint64_t> rank(static_cast<size_t>(n), 0);
+    for (VertexId v : active_set)
+      rank[static_cast<size_t>(v)] =
+          (rng.next() << 20) | static_cast<std::uint64_t>(v);
+
+    // LE lists w.r.t. the (1+δ)-approximation H (Theorem 4 substitute).
+    const LeListsResult le =
+        compute_le_lists(g, active_set, rank, delta);
+    result.ledger.add("iter-" + std::to_string(iter) + "-le-lists", le.cost);
+    result.max_le_list_size =
+        std::max(result.max_le_list_size, le.max_list_size);
+
+    // Join rule: v joins iff it is first in π among its Δ-neighborhood in
+    // H, i.e. the minimum-rank LE entry within distance Δ is v itself.
+    std::vector<VertexId> fresh;
+    for (VertexId v : active_set) {
+      std::uint64_t best_rank = rank[static_cast<size_t>(v)];
+      for (const LeListEntry& e : le.lists[static_cast<size_t>(v)]) {
+        if (e.dist > delta_radius) continue;
+        best_rank = std::min(best_rank, e.rank);
+      }
+      if (best_rank == rank[static_cast<size_t>(v)]) {
+        fresh.push_back(v);
+        in_net[static_cast<size_t>(v)] = 1;
+      }
+    }
+    LN_ASSERT_MSG(!fresh.empty(),
+                  "an iteration must produce at least one net point (the "
+                  "global rank minimum always joins)");
+
+    // Approximate SPT rooted at the fresh net points; deactivate everything
+    // within (1+δ)·Δ of them.
+    const ApproxSptForestResult forest =
+        build_approx_spt_forest(g, fresh, delta);
+    result.ledger.add("iter-" + std::to_string(iter) + "-spt", forest.cost);
+    for (VertexId v = 0; v < n; ++v) {
+      if (!active[static_cast<size_t>(v)]) continue;
+      if (forest.dist[static_cast<size_t>(v)] <=
+          (1.0 + delta) * delta_radius)
+        active[static_cast<size_t>(v)] = 0;
+    }
+    for (VertexId v : fresh)
+      LN_ASSERT_MSG(!active[static_cast<size_t>(v)],
+                    "a fresh net point must become inactive");
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    LN_ASSERT_MSG(!active[static_cast<size_t>(v)],
+                  "net construction did not converge within the iteration "
+                  "cap");
+    if (in_net[static_cast<size_t>(v)]) result.net.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace lightnet

@@ -1,0 +1,37 @@
+// Distributed net construction (§6, Theorem 3).
+//
+// Computes a ((1+δ)·Δ, Δ/(1+δ))-net: in each iteration every active vertex
+// samples a rank (a uniformly random permutation), LE lists are computed
+// with respect to the (1+δ)-approximation H of G, a vertex joins the net
+// iff it is first in the permutation among its Δ-neighborhood (readable off
+// its LE list), and an approximate SPT rooted at the fresh net points
+// deactivates everything within (1+δ)·Δ. W.h.p. O(log n) iterations
+// suffice (the paper's active-pair halving argument); the iteration count
+// is returned so tests and benches can check it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct NetParams {
+  Weight radius = 1.0;     // Δ
+  double delta = 0.5;      // δ: approximation slack (0 = exact distances)
+  std::uint64_t seed = 1;
+  int max_iterations = 0;  // 0 = 8·log2(n) + 16 safety cap
+};
+
+struct NetResult {
+  std::vector<VertexId> net;
+  int iterations = 0;
+  size_t max_le_list_size = 0;  // [KKM+12] O(log n) bound, measured
+  congest::RoundLedger ledger;
+};
+
+NetResult build_net(const WeightedGraph& g, const NetParams& params);
+
+}  // namespace lightnet

@@ -1,0 +1,157 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "support/assert.h"
+#include "support/rng.h"
+
+namespace lightnet {
+
+double lightness(const WeightedGraph& g, std::span<const EdgeId> spanner) {
+  Weight w = 0.0;
+  for (EdgeId id : spanner) w += g.edge(id).w;
+  const Weight base = mst_weight(g);
+  LN_ASSERT(base > 0.0);
+  return w / base;
+}
+
+double max_edge_stretch(const WeightedGraph& g,
+                        std::span<const EdgeId> spanner) {
+  const WeightedGraph h = g.edge_subgraph(spanner);
+  double worst = 0.0;
+  // One Dijkstra in H per vertex covers all incident G-edges.
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    bool has_forward_edge = false;
+    for (const Incidence& inc : g.incident(u))
+      if (inc.neighbor > u) has_forward_edge = true;
+    if (!has_forward_edge) continue;
+    const ShortestPathTree t = dijkstra(h, u);
+    for (const Incidence& inc : g.incident(u)) {
+      if (inc.neighbor <= u) continue;
+      const Weight dh = t.dist[static_cast<size_t>(inc.neighbor)];
+      LN_ASSERT_MSG(dh != kInfiniteDistance,
+                    "spanner disconnects an edge's endpoints");
+      worst = std::max(worst, dh / g.edge(inc.edge).w);
+    }
+  }
+  return worst;
+}
+
+double max_pairwise_stretch(const WeightedGraph& g,
+                            std::span<const EdgeId> spanner) {
+  const WeightedGraph h = g.edge_subgraph(spanner);
+  double worst = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    const ShortestPathTree tg = dijkstra(g, u);
+    const ShortestPathTree th = dijkstra(h, u);
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      const Weight dg = tg.dist[static_cast<size_t>(v)];
+      const Weight dh = th.dist[static_cast<size_t>(v)];
+      if (dg == kInfiniteDistance) continue;
+      LN_ASSERT(dh != kInfiniteDistance);
+      if (dg > 0.0) worst = std::max(worst, dh / dg);
+    }
+  }
+  return worst;
+}
+
+double root_stretch(const WeightedGraph& g, std::span<const EdgeId> tree,
+                    VertexId rt) {
+  const WeightedGraph h = g.edge_subgraph(tree);
+  const ShortestPathTree in_tree = dijkstra(h, rt);
+  const ShortestPathTree in_g = dijkstra(g, rt);
+  double worst = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == rt) continue;
+    const Weight dg = in_g.dist[static_cast<size_t>(v)];
+    const Weight dt = in_tree.dist[static_cast<size_t>(v)];
+    LN_ASSERT(dg != kInfiniteDistance && dt != kInfiniteDistance);
+    if (dg > 0.0) worst = std::max(worst, dt / dg);
+  }
+  return worst;
+}
+
+double average_root_stretch(const WeightedGraph& g,
+                            std::span<const EdgeId> tree, VertexId rt) {
+  const WeightedGraph h = g.edge_subgraph(tree);
+  const ShortestPathTree in_tree = dijkstra(h, rt);
+  const ShortestPathTree in_g = dijkstra(g, rt);
+  double sum = 0.0;
+  int count = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (v == rt) continue;
+    const Weight dg = in_g.dist[static_cast<size_t>(v)];
+    if (dg <= 0.0) continue;
+    sum += in_tree.dist[static_cast<size_t>(v)] / dg;
+    ++count;
+  }
+  return count > 0 ? sum / count : 1.0;
+}
+
+NetCheck check_net(const WeightedGraph& g, std::span<const VertexId> net,
+                   double alpha, double beta) {
+  NetCheck result;
+  if (net.empty()) {
+    result.covering = g.num_vertices() == 0;
+    result.separated = true;
+    return result;
+  }
+  const MultiSourceResult ms = multi_source_dijkstra(g, net);
+  result.worst_cover_distance = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    result.worst_cover_distance =
+        std::max(result.worst_cover_distance, ms.dist[static_cast<size_t>(v)]);
+  result.covering = result.worst_cover_distance <= alpha + 1e-9;
+
+  result.min_pair_distance = kInfiniteDistance;
+  for (VertexId s : net) {
+    const ShortestPathTree t = dijkstra(g, s);
+    for (VertexId o : net) {
+      if (o == s) continue;
+      result.min_pair_distance =
+          std::min(result.min_pair_distance, t.dist[static_cast<size_t>(o)]);
+    }
+  }
+  result.separated =
+      net.size() <= 1 || result.min_pair_distance > beta - 1e-9;
+  return result;
+}
+
+double estimate_doubling_dimension(const WeightedGraph& g, int sample_count,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  int worst = 1;
+  for (int s = 0; s < sample_count; ++s) {
+    const VertexId center = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(g.num_vertices())));
+    const ShortestPathTree t = dijkstra(g, center);
+    Weight max_d = 0.0;
+    for (Weight d : t.dist)
+      if (d != kInfiniteDistance) max_d = std::max(max_d, d);
+    if (max_d <= 0.0) continue;
+    const double r = rng.next_uniform(max_d / 16.0, max_d / 2.0);
+    // Greedy r-net of B(center, 2r).
+    std::vector<VertexId> ball;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (t.dist[static_cast<size_t>(v)] <= 2.0 * r) ball.push_back(v);
+    std::vector<VertexId> net;
+    for (VertexId v : ball) {
+      bool covered = false;
+      for (VertexId c : net) {
+        const ShortestPathTree tc = dijkstra(g, c);
+        if (tc.dist[static_cast<size_t>(v)] <= r) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) net.push_back(v);
+    }
+    worst = std::max(worst, static_cast<int>(net.size()));
+  }
+  return std::log2(static_cast<double>(worst));
+}
+
+}  // namespace lightnet

@@ -1,0 +1,45 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/union_find.h"
+#include "support/assert.h"
+
+namespace lightnet {
+
+bool mst_edge_less(const WeightedGraph& g, EdgeId a, EdgeId b) {
+  const Weight wa = g.edge(a).w, wb = g.edge(b).w;
+  if (wa != wb) return wa < wb;
+  return a < b;
+}
+
+std::vector<EdgeId> kruskal_mst(const WeightedGraph& g) {
+  std::vector<EdgeId> order(static_cast<size_t>(g.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&g](EdgeId a, EdgeId b) { return mst_edge_less(g, a, b); });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<size_t>(g.num_vertices()) - 1);
+  for (EdgeId id : order) {
+    const Edge& e = g.edge(id);
+    if (uf.unite(e.u, e.v)) tree.push_back(id);
+  }
+  LN_REQUIRE(static_cast<int>(tree.size()) == g.num_vertices() - 1,
+             "graph is not connected");
+  return tree;
+}
+
+Weight mst_weight(const WeightedGraph& g) {
+  Weight sum = 0.0;
+  for (EdgeId id : kruskal_mst(g)) sum += g.edge(id).w;
+  return sum;
+}
+
+RootedTree mst_tree(const WeightedGraph& g, VertexId root) {
+  std::vector<EdgeId> edges = kruskal_mst(g);
+  return RootedTree::from_edge_set(g, root, edges);
+}
+
+}  // namespace lightnet

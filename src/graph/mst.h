@@ -1,0 +1,29 @@
+// Sequential minimum-spanning-tree reference (Kruskal).
+//
+// The distributed fragment MST (src/mst/fragment_mst.*) is verified against
+// this. Ties are broken by (weight, edge id), making the MST unique per
+// graph — both the sequential and distributed implementations use the same
+// rule, as the paper's constructions assume *the* MST T.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lightnet {
+
+// Edge ids of the MST (n-1 edges). Requires a connected graph.
+std::vector<EdgeId> kruskal_mst(const WeightedGraph& g);
+
+// Total weight of the MST.
+Weight mst_weight(const WeightedGraph& g);
+
+// The MST as a tree rooted at `root`.
+RootedTree mst_tree(const WeightedGraph& g, VertexId root);
+
+// Comparison rule shared by all MST implementations: lighter first, edge id
+// as tie-break.
+bool mst_edge_less(const WeightedGraph& g, EdgeId a, EdgeId b);
+
+}  // namespace lightnet

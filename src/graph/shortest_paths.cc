@@ -1,0 +1,145 @@
+#include "graph/shortest_paths.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "support/assert.h"
+
+namespace lightnet {
+
+namespace {
+
+struct QueueEntry {
+  Weight dist;
+  VertexId vertex;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+MultiSourceResult run_dijkstra(const WeightedGraph& g,
+                               std::span<const VertexId> sources,
+                               Weight bound) {
+  const size_t n = static_cast<size_t>(g.num_vertices());
+  MultiSourceResult r;
+  r.dist.assign(n, kInfiniteDistance);
+  r.parent.assign(n, kNoVertex);
+  r.parent_edge.assign(n, kNoEdge);
+  r.owner.assign(n, kNoVertex);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+  for (VertexId s : sources) {
+    LN_REQUIRE(s >= 0 && s < g.num_vertices(), "source out of range");
+    r.dist[static_cast<size_t>(s)] = 0.0;
+    r.owner[static_cast<size_t>(s)] = s;
+    pq.push({0.0, s});
+  }
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > r.dist[static_cast<size_t>(v)]) continue;  // stale entry
+    for (const Incidence& inc : g.incident(v)) {
+      const Weight nd = d + g.edge(inc.edge).w;
+      if (nd > bound) continue;
+      if (nd < r.dist[static_cast<size_t>(inc.neighbor)]) {
+        r.dist[static_cast<size_t>(inc.neighbor)] = nd;
+        r.parent[static_cast<size_t>(inc.neighbor)] = v;
+        r.parent_edge[static_cast<size_t>(inc.neighbor)] = inc.edge;
+        r.owner[static_cast<size_t>(inc.neighbor)] =
+            r.owner[static_cast<size_t>(v)];
+        pq.push({nd, inc.neighbor});
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<VertexId> ShortestPathTree::path_to(VertexId target) const {
+  if (dist[static_cast<size_t>(target)] == kInfiniteDistance) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kNoVertex;
+       v = parent[static_cast<size_t>(v)])
+    path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<EdgeId> ShortestPathTree::path_edges_to(VertexId target) const {
+  if (dist[static_cast<size_t>(target)] == kInfiniteDistance) return {};
+  std::vector<EdgeId> path;
+  for (VertexId v = target; parent[static_cast<size_t>(v)] != kNoVertex;
+       v = parent[static_cast<size_t>(v)])
+    path.push_back(parent_edge[static_cast<size_t>(v)]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const WeightedGraph& g, VertexId source) {
+  return dijkstra_bounded(g, source, kInfiniteDistance);
+}
+
+ShortestPathTree dijkstra_bounded(const WeightedGraph& g, VertexId source,
+                                  Weight bound) {
+  const VertexId sources[] = {source};
+  MultiSourceResult r = run_dijkstra(g, sources, bound);
+  ShortestPathTree t;
+  t.source = source;
+  t.dist = std::move(r.dist);
+  t.parent = std::move(r.parent);
+  t.parent_edge = std::move(r.parent_edge);
+  return t;
+}
+
+MultiSourceResult multi_source_dijkstra(const WeightedGraph& g,
+                                        std::span<const VertexId> sources) {
+  return run_dijkstra(g, sources, kInfiniteDistance);
+}
+
+MultiSourceResult multi_source_dijkstra_bounded(
+    const WeightedGraph& g, std::span<const VertexId> sources, Weight bound) {
+  return run_dijkstra(g, sources, bound);
+}
+
+std::vector<std::vector<Weight>> all_pairs_distances(const WeightedGraph& g) {
+  std::vector<std::vector<Weight>> all;
+  all.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId s = 0; s < g.num_vertices(); ++s)
+    all.push_back(dijkstra(g, s).dist);
+  return all;
+}
+
+std::vector<int> bfs_hops(const WeightedGraph& g, VertexId source) {
+  LN_REQUIRE(source >= 0 && source < g.num_vertices(), "source out of range");
+  std::vector<int> hops(static_cast<size_t>(g.num_vertices()), -1);
+  std::deque<VertexId> queue{source};
+  hops[static_cast<size_t>(source)] = 0;
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (const Incidence& inc : g.incident(v)) {
+      if (hops[static_cast<size_t>(inc.neighbor)] < 0) {
+        hops[static_cast<size_t>(inc.neighbor)] =
+            hops[static_cast<size_t>(v)] + 1;
+        queue.push_back(inc.neighbor);
+      }
+    }
+  }
+  return hops;
+}
+
+RootedTree shortest_path_tree(const WeightedGraph& g, VertexId source) {
+  ShortestPathTree t = dijkstra(g, source);
+  std::vector<Weight> pw(t.parent.size(), 0.0);
+  for (size_t v = 0; v < t.parent.size(); ++v) {
+    LN_REQUIRE(t.dist[v] != kInfiniteDistance,
+               "shortest_path_tree requires a connected graph");
+    if (t.parent_edge[v] != kNoEdge) pw[v] = g.edge(t.parent_edge[v]).w;
+  }
+  return RootedTree::from_parents(source, std::move(t.parent),
+                                  std::move(t.parent_edge), std::move(pw));
+}
+
+}  // namespace lightnet

@@ -1,0 +1,64 @@
+// Sequential shortest-path routines.
+//
+// These are the *reference oracles* the test suite and metrics use to verify
+// the distributed algorithms (exact Dijkstra distances vs. CONGEST
+// Bellman-Ford, exact balls vs. LE-list decisions, ...). They are also used
+// by the sequential baselines.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lightnet {
+
+inline constexpr Weight kInfiniteDistance =
+    std::numeric_limits<Weight>::infinity();
+
+struct ShortestPathTree {
+  VertexId source = kNoVertex;
+  std::vector<Weight> dist;        // kInfiniteDistance if unreachable
+  std::vector<VertexId> parent;    // kNoVertex at source / unreachable
+  std::vector<EdgeId> parent_edge; // kNoEdge at source / unreachable
+
+  // Vertices of the path source -> target (inclusive), empty if unreachable.
+  std::vector<VertexId> path_to(VertexId target) const;
+  // Edge ids of that path.
+  std::vector<EdgeId> path_edges_to(VertexId target) const;
+};
+
+// Single-source Dijkstra over the whole graph.
+ShortestPathTree dijkstra(const WeightedGraph& g, VertexId source);
+
+// Dijkstra that never settles vertices beyond distance `bound` from the
+// source (vertices farther than bound keep dist = infinity).
+ShortestPathTree dijkstra_bounded(const WeightedGraph& g, VertexId source,
+                                  Weight bound);
+
+// Multi-source Dijkstra: dist[v] = min over sources, parent links form a
+// forest rooted at the sources; `owner[v]` identifies the nearest source.
+struct MultiSourceResult {
+  std::vector<Weight> dist;
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<VertexId> owner;
+};
+MultiSourceResult multi_source_dijkstra(const WeightedGraph& g,
+                                        std::span<const VertexId> sources);
+MultiSourceResult multi_source_dijkstra_bounded(
+    const WeightedGraph& g, std::span<const VertexId> sources, Weight bound);
+
+// All-pairs distances via n Dijkstra runs; intended for n up to a few
+// thousand (verification scale).
+std::vector<std::vector<Weight>> all_pairs_distances(const WeightedGraph& g);
+
+// Unweighted hop distances from a source.
+std::vector<int> bfs_hops(const WeightedGraph& g, VertexId source);
+
+// Shortest-path tree as a RootedTree (requires all vertices reachable).
+RootedTree shortest_path_tree(const WeightedGraph& g, VertexId source);
+
+}  // namespace lightnet

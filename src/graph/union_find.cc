@@ -1,0 +1,4 @@
+#include "graph/union_find.h"
+
+// Header-only; this translation unit exists so the build surface stays
+// uniform (one .cc per module) and future non-inline members have a home.

@@ -1,0 +1,58 @@
+// Disjoint-set forest with union by rank and path compression.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace lightnet {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n)
+      : parent_(checked_size(n)), rank_(checked_size(n), 0),
+        num_components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    int root = x;
+    while (parent_[static_cast<size_t>(root)] != root)
+      root = parent_[static_cast<size_t>(root)];
+    while (parent_[static_cast<size_t>(x)] != root) {
+      int next = parent_[static_cast<size_t>(x)];
+      parent_[static_cast<size_t>(x)] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  // Returns true if x and y were in different components.
+  bool unite(int x, int y) {
+    int rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (rank_[static_cast<size_t>(rx)] < rank_[static_cast<size_t>(ry)])
+      std::swap(rx, ry);
+    parent_[static_cast<size_t>(ry)] = rx;
+    if (rank_[static_cast<size_t>(rx)] == rank_[static_cast<size_t>(ry)])
+      ++rank_[static_cast<size_t>(rx)];
+    --num_components_;
+    return true;
+  }
+
+  bool same(int x, int y) { return find(x) == find(y); }
+  int num_components() const { return num_components_; }
+
+ private:
+  static size_t checked_size(int n) {
+    LN_REQUIRE(n >= 0, "negative size");
+    return static_cast<size_t>(n);
+  }
+
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  int num_components_;
+};
+
+}  // namespace lightnet

@@ -1,0 +1,283 @@
+#include "mst/euler_tour.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.h"
+
+namespace lightnet {
+
+namespace {
+
+// One converge or assign wave inside all fragments in parallel: costs the
+// deepest fragment's hop-depth (+1 for the initiating round).
+congest::CostStats fragment_wave_cost(const FragmentDecomposition& frags,
+                                      int num_vertices) {
+  congest::CostStats c;
+  c.rounds = static_cast<std::uint64_t>(frags.max_hop_depth()) + 1;
+  c.messages = static_cast<std::uint64_t>(num_vertices);
+  c.words = c.messages * 2;  // (weighted, unit) value pairs
+  c.max_edge_load = 1;
+  return c;
+}
+
+}  // namespace
+
+EulerTourResult build_euler_tour(const WeightedGraph& g,
+                                 const DistributedMstResult& mst,
+                                 const congest::BfsTreeResult& bfs) {
+  const int n = g.num_vertices();
+  const RootedTree& tree = mst.tree;
+  const FragmentDecomposition& frags = mst.fragments;
+  EulerTourResult result;
+
+  const std::vector<VertexId> order = tree.preorder();
+
+  // --- Phase 1: local tour lengths ℓ(v), bottom-up within fragments.
+  // ℓ(v) = Σ over children z of v *in the same fragment* of ℓ(z)+2w(v,z);
+  // the unit-weight twin ℓ1 uses w ≡ 1.
+  std::vector<Weight> local_len(static_cast<size_t>(n), 0.0);
+  std::vector<std::int64_t> local_len1(static_cast<size_t>(n), 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    for (VertexId z : tree.children[static_cast<size_t>(v)]) {
+      if (frags.fragment_of[static_cast<size_t>(z)] !=
+          frags.fragment_of[static_cast<size_t>(v)])
+        continue;
+      local_len[static_cast<size_t>(v)] +=
+          local_len[static_cast<size_t>(z)] +
+          2.0 * tree.parent_weight[static_cast<size_t>(z)];
+      local_len1[static_cast<size_t>(v)] +=
+          local_len1[static_cast<size_t>(z)] + 2;
+    }
+  }
+  result.ledger.add("local-tour-lengths", fragment_wave_cost(frags, n));
+
+  // --- Phase 2: broadcast ℓ(r_i) (plus T' structure: parent fragment and
+  // external-edge weight), then every vertex locally derives the global
+  // tour lengths of the roots: g(r_i) = ℓ(r_i) + Σ over descendant
+  // fragments F' of (ℓ(r_F') + 2 w(e_F')).
+  const int num_fragments = frags.num_fragments;
+  result.ledger.charge_global_broadcast(
+      "broadcast-root-lengths",
+      static_cast<std::uint64_t>(num_fragments) * 2,
+      static_cast<std::uint64_t>(bfs.height));
+  std::vector<Weight> root_global(static_cast<size_t>(num_fragments), 0.0);
+  std::vector<std::int64_t> root_global1(static_cast<size_t>(num_fragments),
+                                         0);
+  {
+    // Children lists of the fragment tree T'.
+    std::vector<std::vector<int>> frag_children(
+        static_cast<size_t>(num_fragments));
+    for (int f = 1; f < num_fragments; ++f)
+      frag_children[static_cast<size_t>(
+                        frags.parent_fragment[static_cast<size_t>(f)])]
+          .push_back(f);
+    // Bottom-up over T' (process in reverse BFS order).
+    std::vector<int> frag_order;
+    std::deque<int> queue{0};
+    while (!queue.empty()) {
+      int f = queue.front();
+      queue.pop_front();
+      frag_order.push_back(f);
+      for (int c : frag_children[static_cast<size_t>(f)]) queue.push_back(c);
+    }
+    for (auto it = frag_order.rbegin(); it != frag_order.rend(); ++it) {
+      const int f = *it;
+      const VertexId r = frags.fragment_root[static_cast<size_t>(f)];
+      root_global[static_cast<size_t>(f)] = local_len[static_cast<size_t>(r)];
+      root_global1[static_cast<size_t>(f)] =
+          local_len1[static_cast<size_t>(r)];
+      for (int c : frag_children[static_cast<size_t>(f)]) {
+        const VertexId rc = frags.fragment_root[static_cast<size_t>(c)];
+        root_global[static_cast<size_t>(f)] +=
+            root_global[static_cast<size_t>(c)] +
+            2.0 * tree.parent_weight[static_cast<size_t>(rc)];
+        root_global1[static_cast<size_t>(f)] +=
+            root_global1[static_cast<size_t>(c)] + 2;
+      }
+    }
+  }
+
+  // --- Phase 3: global tour lengths g(v) bottom-up within fragments, using
+  // g of external children (fragment roots) from phase 2.
+  std::vector<Weight> global_len(static_cast<size_t>(n), 0.0);
+  std::vector<std::int64_t> global_len1(static_cast<size_t>(n), 0);
+  for (int f = 0; f < num_fragments; ++f) {
+    const VertexId r = frags.fragment_root[static_cast<size_t>(f)];
+    global_len[static_cast<size_t>(r)] = root_global[static_cast<size_t>(f)];
+    global_len1[static_cast<size_t>(r)] =
+        root_global1[static_cast<size_t>(f)];
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    const int f = frags.fragment_of[static_cast<size_t>(v)];
+    if (frags.fragment_root[static_cast<size_t>(f)] == v) continue;  // known
+    Weight gsum = 0.0;
+    std::int64_t gsum1 = 0;
+    for (VertexId z : tree.children[static_cast<size_t>(v)]) {
+      gsum += global_len[static_cast<size_t>(z)] +
+              2.0 * tree.parent_weight[static_cast<size_t>(z)];
+      gsum1 += global_len1[static_cast<size_t>(z)] + 2;
+    }
+    global_len[static_cast<size_t>(v)] = gsum;
+    global_len1[static_cast<size_t>(v)] = gsum1;
+  }
+  result.ledger.add("global-tour-lengths", fragment_wave_cost(frags, n));
+
+  // --- Phase 4: DFS interval starts, top-down within fragments. The local
+  // start of a fragment root is 0; a child z_j of v starts at
+  // start(v) + Σ_{q<j}(g(z_q) + 2w(v,z_q)) + w(v,z_j).
+  std::vector<Weight> local_start(static_cast<size_t>(n), 0.0);
+  std::vector<std::int64_t> local_start1(static_cast<size_t>(n), 0);
+  // in-parent start for fragment roots other than their own fragment's
+  // origin (the b of §3.3).
+  std::vector<Weight> start_in_parent(static_cast<size_t>(num_fragments),
+                                      0.0);
+  std::vector<std::int64_t> start_in_parent1(
+      static_cast<size_t>(num_fragments), 0);
+  for (VertexId v : order) {
+    Weight prefix = 0.0;
+    std::int64_t prefix1 = 0;
+    for (VertexId z : tree.children[static_cast<size_t>(v)]) {
+      const Weight w = tree.parent_weight[static_cast<size_t>(z)];
+      const Weight child_start = local_start[static_cast<size_t>(v)] + prefix + w;
+      const std::int64_t child_start1 =
+          local_start1[static_cast<size_t>(v)] + prefix1 + 1;
+      const int fz = frags.fragment_of[static_cast<size_t>(z)];
+      if (fz == frags.fragment_of[static_cast<size_t>(v)]) {
+        local_start[static_cast<size_t>(z)] = child_start;
+        local_start1[static_cast<size_t>(z)] = child_start1;
+      } else {
+        // External child: record its interval-in-parent; its own fragment
+        // traversal starts at local time 0 (phase 5 shifts it).
+        LN_ASSERT(frags.fragment_root[static_cast<size_t>(fz)] == z);
+        start_in_parent[static_cast<size_t>(fz)] = child_start;
+        start_in_parent1[static_cast<size_t>(fz)] = child_start1;
+        local_start[static_cast<size_t>(z)] = 0.0;
+        local_start1[static_cast<size_t>(z)] = 0;
+      }
+      prefix += global_len[static_cast<size_t>(z)] + 2.0 * w;
+      prefix1 += global_len1[static_cast<size_t>(z)] + 2;
+    }
+  }
+  result.ledger.add("local-intervals", fragment_wave_cost(frags, n));
+
+  // --- Phase 5: roots report (fragment, parent fragment, start-in-parent)
+  // to rt; rt derives the shifts s_i and broadcasts them.
+  result.ledger.charge_global_broadcast(
+      "gather-root-intervals", static_cast<std::uint64_t>(num_fragments),
+      static_cast<std::uint64_t>(bfs.height));
+  std::vector<Weight> shift(static_cast<size_t>(num_fragments), 0.0);
+  std::vector<std::int64_t> shift1(static_cast<size_t>(num_fragments), 0);
+  {
+    std::deque<int> queue{0};
+    std::vector<char> done(static_cast<size_t>(num_fragments), 0);
+    done[0] = 1;
+    // Fragment parents have smaller BFS order; iterate until fixpoint
+    // (the fragment tree is shallow, but be order-robust).
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int f = 1; f < num_fragments; ++f) {
+        if (done[static_cast<size_t>(f)]) continue;
+        const int pf = frags.parent_fragment[static_cast<size_t>(f)];
+        if (!done[static_cast<size_t>(pf)]) continue;
+        shift[static_cast<size_t>(f)] = shift[static_cast<size_t>(pf)] +
+                                        start_in_parent[static_cast<size_t>(f)];
+        shift1[static_cast<size_t>(f)] =
+            shift1[static_cast<size_t>(pf)] +
+            start_in_parent1[static_cast<size_t>(f)];
+        done[static_cast<size_t>(f)] = 1;
+        progress = true;
+      }
+    }
+    for (int f = 0; f < num_fragments; ++f)
+      LN_ASSERT_MSG(done[static_cast<size_t>(f)],
+                    "fragment tree is not connected");
+  }
+  result.ledger.charge_global_broadcast(
+      "broadcast-shifts", static_cast<std::uint64_t>(num_fragments),
+      static_cast<std::uint64_t>(bfs.height));
+
+  // --- Phase 6: local assembly of appearances. Appearance j of v is at
+  // start(v) + Σ_{q≤j}(g(z_q) + 2w(v,z_q)), j = 0..#children.
+  result.appearances.assign(static_cast<size_t>(n), {});
+  for (VertexId v = 0; v < n; ++v) {
+    const int f = frags.fragment_of[static_cast<size_t>(v)];
+    const Weight start = shift[static_cast<size_t>(f)] +
+                         local_start[static_cast<size_t>(v)];
+    const std::int64_t start1 = shift1[static_cast<size_t>(f)] +
+                                local_start1[static_cast<size_t>(v)];
+    Weight t = start;
+    std::int64_t idx = start1;
+    auto& list = result.appearances[static_cast<size_t>(v)];
+    list.push_back({t, idx});
+    for (VertexId z : tree.children[static_cast<size_t>(v)]) {
+      t += global_len[static_cast<size_t>(z)] +
+           2.0 * tree.parent_weight[static_cast<size_t>(z)];
+      idx += global_len1[static_cast<size_t>(z)] + 2;
+      list.push_back({t, idx});
+    }
+  }
+
+  result.total_length = global_len[static_cast<size_t>(tree.root)];
+  result.num_positions = 2 * static_cast<std::int64_t>(n) - 1;
+
+  // Flattened view + structural validation.
+  result.sequence.assign(static_cast<size_t>(result.num_positions),
+                         kNoVertex);
+  result.times.assign(static_cast<size_t>(result.num_positions), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const TourAppearance& app :
+         result.appearances[static_cast<size_t>(v)]) {
+      LN_ASSERT_MSG(app.index >= 0 && app.index < result.num_positions,
+                    "tour index out of range");
+      LN_ASSERT_MSG(
+          result.sequence[static_cast<size_t>(app.index)] == kNoVertex,
+          "two appearances claim the same tour position");
+      result.sequence[static_cast<size_t>(app.index)] = v;
+      result.times[static_cast<size_t>(app.index)] = app.time;
+    }
+  }
+  for (VertexId x : result.sequence)
+    LN_ASSERT_MSG(x != kNoVertex, "tour has an unassigned position");
+
+  return result;
+}
+
+ReferenceTour reference_euler_tour(const RootedTree& tree) {
+  ReferenceTour out;
+  // Iterative preorder walk emitting a position on entry and after each
+  // child's subtree.
+  struct Frame {
+    VertexId v;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{tree.root, 0}};
+  Weight clock = 0.0;
+  out.sequence.push_back(tree.root);
+  out.times.push_back(0.0);
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& ch = tree.children[static_cast<size_t>(top.v)];
+    if (top.next_child < ch.size()) {
+      const VertexId z = ch[top.next_child++];
+      clock += tree.parent_weight[static_cast<size_t>(z)];
+      out.sequence.push_back(z);
+      out.times.push_back(clock);
+      stack.push_back({z, 0});
+    } else {
+      const VertexId v = top.v;
+      stack.pop_back();
+      if (!stack.empty()) {
+        clock += tree.parent_weight[static_cast<size_t>(v)];
+        out.sequence.push_back(stack.back().v);
+        out.times.push_back(clock);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lightnet

@@ -1,0 +1,67 @@
+// Eulerian tour of the MST (§3, Lemma 2).
+//
+// Computes the preorder traversal L = {rt = x_0, x_1, ..., x_{2n-2}} of the
+// MST, where each appearance of a vertex is a separate tour position. After
+// the run every vertex knows its set of appearances L(v) with both the
+// weighted visiting time R_x = d_L(rt, x) and the unweighted index (the
+// paper obtains indices "by running the same algorithm ignoring the
+// weights"; we carry both values through the same phases).
+//
+// Phase structure mirrors the paper exactly:
+//   1. local tour lengths ℓ(v) bottom-up inside each base fragment,
+//   2. fragment roots broadcast ℓ(r_i); everyone derives global lengths
+//      g(r_i) from the fragment tree T' (Lemma 1 cost),
+//   3. global lengths g(v) bottom-up inside fragments,
+//   4. DFS intervals top-down inside fragments (children ordered by id),
+//   5. roots report their interval-in-parent to rt, rt derives the shifts
+//      s_i and broadcasts them,
+//   6. every vertex locally shifts its interval and derives its appearance
+//      times.
+// Phases 1, 3, 4 cost O(max fragment hop-depth) rounds; 2 and 5 are
+// Lemma-1 gathers/broadcasts of O(√n) items — totalling Õ(√n + D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/bfs.h"
+#include "congest/stats.h"
+#include "graph/graph.h"
+#include "mst/fragment_mst.h"
+
+namespace lightnet {
+
+struct TourAppearance {
+  Weight time = 0.0;        // R_x, weighted distance from tour start
+  std::int64_t index = 0;   // position in L (0-based)
+};
+
+struct EulerTourResult {
+  // appearances[v] in increasing tour order; |appearances[v]| = deg_T(v)
+  // (deg_T(rt)+1 for the root).
+  std::vector<std::vector<TourAppearance>> appearances;
+  Weight total_length = 0.0;       // = 2 * w(T)
+  std::int64_t num_positions = 0;  // = 2n - 1
+
+  // Flattened tour (position -> vertex / time); the per-vertex appearance
+  // data above is what nodes "know", these arrays are the simulation-side
+  // view used by verification and by cluster bookkeeping.
+  std::vector<VertexId> sequence;
+  std::vector<Weight> times;
+
+  congest::RoundLedger ledger;
+};
+
+EulerTourResult build_euler_tour(const WeightedGraph& g,
+                                 const DistributedMstResult& mst,
+                                 const congest::BfsTreeResult& bfs);
+
+// Sequential reference (pure preorder walk); used by tests to validate the
+// phased computation position by position.
+struct ReferenceTour {
+  std::vector<VertexId> sequence;
+  std::vector<Weight> times;
+};
+ReferenceTour reference_euler_tour(const RootedTree& tree);
+
+}  // namespace lightnet

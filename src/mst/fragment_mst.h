@@ -1,0 +1,56 @@
+// Distributed MST with base fragments (§3.1; [KP98], [Elk17b]).
+//
+// The paper uses the Kutten-Peleg MST algorithm as a black box and relies on
+// exactly three properties of its output:
+//   (1) the tree is *the* MST (unique under the (weight, edge id) order),
+//   (2) there are O(√n) base fragments, each a connected subtree of the MST
+//       with hop-diameter O(√n),
+//   (3) each non-root fragment has a root vertex r_i whose MST parent lies
+//       in the parent fragment, giving the virtual fragment tree T'.
+//
+// We reproduce that interface with a Borůvka merge loop at the component
+// level (cost charged per phase as 2·max-fragment-hop-diameter + O(1)
+// rounds, matching GHS's converge/broadcast structure) followed by a
+// subtree-size decomposition of the MST into fragments of ≥ √n vertices and
+// hop-diameter ≤ 2√n (the KP98 k-dominating-set decomposition produces the
+// same shape; we charge its O(√n + D) cost). Every downstream section (§3
+// Euler tour, §4.2 ABP computation) consumes only the interface above.
+#pragma once
+
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct FragmentDecomposition {
+  int num_fragments = 0;
+  std::vector<int> fragment_of;          // per vertex
+  std::vector<VertexId> fragment_root;   // r_i; fragment 0 contains rt
+  std::vector<int> parent_fragment;      // -1 for the root fragment
+  std::vector<int> fragment_hop_depth;   // max hops root->vertex inside F_i
+
+  int max_hop_depth() const;
+};
+
+struct DistributedMstResult {
+  std::vector<EdgeId> mst_edges;
+  RootedTree tree;  // the MST rooted at rt
+  FragmentDecomposition fragments;
+  congest::RoundLedger ledger;  // Borůvka phases + decomposition charges
+};
+
+// Builds the MST of g rooted at rt along with its base-fragment
+// decomposition. `target_fragment_size` defaults to ceil(sqrt(n)).
+DistributedMstResult build_distributed_mst(const WeightedGraph& g,
+                                           VertexId rt,
+                                           int target_fragment_size = 0);
+
+// Subtree-size fragment cutting for an arbitrary rooted tree (§4.2 applies
+// "the first phase of the MST algorithm" to the approximate SPT T_rt; this
+// is that reusable piece). Same guarantees as above: ≤ n/target + 1
+// fragments, hop-diameter ≤ 2·target.
+FragmentDecomposition cut_tree_fragments(const RootedTree& tree, int target);
+
+}  // namespace lightnet

@@ -1,0 +1,37 @@
+// Message-level interval scans along the Euler tour (§4.1).
+//
+// The SLT's BP1 selection walks every tour interval in parallel, passing
+// (last break point, R_y) from position to position; position j joins when
+// R_j − R_y > threshold_j. Consecutive tour positions are MST-adjacent and
+// each directed MST edge appears exactly once in the tour, so running all
+// intervals in lockstep is strict-CONGEST legal (≤ 1 message per directed
+// edge per round) — this module implements exactly that as a kernel
+// program: every vertex plays all of its tour appearances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+#include "mst/euler_tour.h"
+
+namespace lightnet {
+
+struct TourScanResult {
+  // Positions that joined (the greedy break points), in increasing order.
+  std::vector<std::int64_t> joined;
+  congest::CostStats cost;
+};
+
+// Scans intervals [anchor_i, anchor_{i+1}) of the tour in parallel. The
+// anchor of each interval seeds the carried value (R at the anchor);
+// position j joins iff R_j − R_carried > threshold[j], and then replaces
+// the carried value with R_j. `threshold` has one entry per tour position
+// (ε·d_Trt(rt, host) in the SLT's use). Anchors themselves do not join.
+TourScanResult tour_interval_scan(const WeightedGraph& g,
+                                  const EulerTourResult& tour,
+                                  const std::vector<std::int64_t>& anchors,
+                                  const std::vector<Weight>& threshold);
+
+}  // namespace lightnet

@@ -1,0 +1,66 @@
+#include "routines/approx_spt.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lightnet {
+
+WeightedGraph round_weights_up(const WeightedGraph& g, double epsilon) {
+  LN_REQUIRE(epsilon >= 0.0, "epsilon must be nonnegative");
+  if (epsilon == 0.0 || g.num_edges() == 0) return g;
+  std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+  const double log_base = std::log1p(epsilon);
+  for (Edge& e : edges) {
+    const double level = std::ceil(std::log(e.w) / log_base);
+    double rounded = std::exp(level * log_base);
+    // Guard against floating point dipping below the original weight.
+    if (rounded < e.w) rounded = e.w;
+    LN_ASSERT(rounded <= e.w * (1.0 + epsilon) * (1.0 + 1e-9));
+    e.w = rounded;
+  }
+  return WeightedGraph::from_edges(g.num_vertices(), std::move(edges));
+}
+
+ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
+                                 double epsilon) {
+  const WeightedGraph rounded = round_weights_up(g, epsilon);
+  const VertexId sources[] = {root};
+  congest::BellmanFordResult bf =
+      congest::distributed_bellman_ford(rounded, sources);
+
+  ApproxSptResult result;
+  result.cost = bf.cost;
+  result.dist = std::move(bf.dist);
+  std::vector<Weight> parent_weight(static_cast<size_t>(g.num_vertices()),
+                                    0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    LN_REQUIRE(result.dist[static_cast<size_t>(v)] != kInfiniteDistance,
+               "graph must be connected");
+    if (bf.parent_edge[static_cast<size_t>(v)] != kNoEdge)
+      parent_weight[static_cast<size_t>(v)] =
+          g.edge(bf.parent_edge[static_cast<size_t>(v)]).w;
+  }
+  result.tree =
+      RootedTree::from_parents(root, std::move(bf.parent),
+                               std::move(bf.parent_edge),
+                               std::move(parent_weight));
+  return result;
+}
+
+ApproxSptForestResult build_approx_spt_forest(const WeightedGraph& g,
+                                              std::span<const VertexId> sources,
+                                              double epsilon) {
+  const WeightedGraph rounded = round_weights_up(g, epsilon);
+  congest::BellmanFordResult bf =
+      congest::distributed_bellman_ford(rounded, sources);
+  ApproxSptForestResult result;
+  result.cost = bf.cost;
+  result.dist = std::move(bf.dist);
+  result.parent = std::move(bf.parent);
+  result.parent_edge = std::move(bf.parent_edge);
+  result.owner = std::move(bf.owner);
+  return result;
+}
+
+}  // namespace lightnet

@@ -1,0 +1,47 @@
+// (1+ε)-approximate shortest path trees — the [BKKL17] substitute.
+//
+// Every consumer in the paper (SLT §4, nets §6) relies only on Eq. (1):
+//     d_G(rt, v) ≤ d_T(rt, v) ≤ (1+ε) · d_G(rt, v),
+// with every vertex knowing its distance label. We realize it by running
+// the distributed Bellman-Ford kernel on a *rounded* copy of the graph
+// (each edge weight rounded up to the next power of (1+ε)), which satisfies
+// Eq. (1) by construction; ε = 0 degenerates to the exact SPT. Rounds are
+// measured, not assumed — EXPERIMENTS.md reports them next to the paper's
+// Õ((√n + D)/poly ε) claim for [BKKL17].
+#pragma once
+
+#include <span>
+
+#include "congest/bellman_ford.h"
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct ApproxSptResult {
+  RootedTree tree;            // parent weights are *original* edge weights
+  std::vector<Weight> dist;   // the (1+ε) labels (rounded-graph distances)
+  congest::CostStats cost;
+};
+
+ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
+                                 double epsilon);
+
+// Multi-source variant (forest rooted at `sources`); used by the net
+// algorithm to deactivate vertices near fresh net points (§6).
+struct ApproxSptForestResult {
+  std::vector<Weight> dist;
+  std::vector<VertexId> parent;
+  std::vector<EdgeId> parent_edge;
+  std::vector<VertexId> owner;  // nearest source under the rounded metric
+  congest::CostStats cost;
+};
+
+ApproxSptForestResult build_approx_spt_forest(const WeightedGraph& g,
+                                              std::span<const VertexId> sources,
+                                              double epsilon);
+
+// The weight-rounding used above, exposed for LE lists (§6 computes LE
+// lists w.r.t. a (1+δ)-approximation H of G — we use the same H).
+WeightedGraph round_weights_up(const WeightedGraph& g, double epsilon);
+
+}  // namespace lightnet

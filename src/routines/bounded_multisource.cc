@@ -1,0 +1,243 @@
+#include "routines/bounded_multisource.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "congest/scheduler.h"
+#include "routines/approx_spt.h"
+#include "support/assert.h"
+
+namespace lightnet {
+
+namespace {
+
+using congest::Delivery;
+using congest::Message;
+using congest::NodeContext;
+using congest::NodeProgram;
+
+constexpr std::uint32_t kTagBounded = 40;
+
+class BoundedProgram final : public NodeProgram {
+ public:
+  BoundedProgram(VertexId self, bool is_source, Weight radius,
+                 std::vector<std::map<VertexId, BoundedSourceEntry>>& state)
+      : self_(self), radius_(radius), state_(state) {
+    if (is_source) {
+      BoundedSourceEntry e;
+      e.source = self_;
+      e.dist = 0.0;
+      state_[static_cast<size_t>(self_)][self_] = e;
+      pending_.insert(self_);
+    }
+  }
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    auto& table = state_[static_cast<size_t>(self_)];
+    for (const Delivery& d : inbox) {
+      LN_ASSERT(d.msg.tag == kTagBounded);
+      const VertexId source = static_cast<VertexId>(d.msg.word(0));
+      const Weight cand = Message::decode_weight(d.msg.word(1)) +
+                          ctx.network().graph().edge(d.edge).w;
+      if (cand > radius_) continue;
+      auto it = table.find(source);
+      if (it == table.end() || cand < it->second.dist) {
+        BoundedSourceEntry e;
+        e.source = source;
+        e.dist = cand;
+        e.parent = d.from;
+        e.parent_edge = d.edge;
+        table[source] = e;
+        pending_.insert(source);
+      }
+    }
+    if (!pending_.empty()) {
+      const VertexId source = *pending_.begin();
+      pending_.erase(pending_.begin());
+      const BoundedSourceEntry& e = table.at(source);
+      const Message msg(kTagBounded,
+                        {static_cast<std::uint64_t>(source),
+                         Message::encode_weight(e.dist)});
+      for (const Incidence& inc : ctx.links()) ctx.send(inc.neighbor, msg);
+    }
+  }
+
+  bool quiescent() const override { return pending_.empty(); }
+
+ private:
+  VertexId self_;
+  Weight radius_;
+  std::vector<std::map<VertexId, BoundedSourceEntry>>& state_;
+  std::set<VertexId> pending_;
+};
+
+BoundedMultiSourceResult finalize_tables(
+    std::vector<std::map<VertexId, BoundedSourceEntry>>& state) {
+  BoundedMultiSourceResult result;
+  result.table.resize(state.size());
+  for (size_t v = 0; v < state.size(); ++v) {
+    for (auto& [source, entry] : state[v])
+      result.table[v].push_back(entry);
+    result.max_sources_per_vertex =
+        std::max(result.max_sources_per_vertex, result.table[v].size());
+  }
+  return result;
+}
+
+const BoundedSourceEntry* find_entry(const BoundedMultiSourceResult& result,
+                                     VertexId v, VertexId source) {
+  for (const BoundedSourceEntry& e :
+       result.table[static_cast<size_t>(v)])
+    if (e.source == source) return &e;
+  return nullptr;
+}
+
+}  // namespace
+
+BoundedMultiSourceResult bounded_multi_source_paths(
+    const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
+    double epsilon) {
+  const WeightedGraph h = round_weights_up(g, epsilon);
+  std::vector<char> is_source(static_cast<size_t>(g.num_vertices()), 0);
+  for (VertexId s : sources) {
+    LN_REQUIRE(s >= 0 && s < g.num_vertices(), "source out of range");
+    is_source[static_cast<size_t>(s)] = 1;
+  }
+  std::vector<std::map<VertexId, BoundedSourceEntry>> state(
+      static_cast<size_t>(g.num_vertices()));
+  congest::Network net(h);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    programs.push_back(std::make_unique<BoundedProgram>(
+        v, is_source[static_cast<size_t>(v)] != 0, radius, state));
+  congest::Scheduler scheduler(net, std::move(programs));
+  const congest::CostStats cost = scheduler.run();
+  BoundedMultiSourceResult result = finalize_tables(state);
+  result.cost = cost;
+  return result;
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths_hopset(
+    const WeightedGraph& g, const Hopset& hopset,
+    std::span<const VertexId> sources, Weight radius, double epsilon,
+    int hop_diameter) {
+  const WeightedGraph h = round_weights_up(g, epsilon);
+  std::vector<std::map<VertexId, BoundedSourceEntry>> state(
+      static_cast<size_t>(g.num_vertices()));
+  for (VertexId s : sources) {
+    BoundedSourceEntry e;
+    e.source = s;
+    e.dist = 0.0;
+    state[static_cast<size_t>(s)][s] = e;
+  }
+
+  congest::CostStats cost;
+  const int iterations = hopset.hop_limit * 3;
+  for (int it = 0; it < iterations; ++it) {
+    bool changed = false;
+    std::uint64_t hub_updates = 0;
+    // One synchronous relaxation over G's edges (1 round, ≤ 2m messages).
+    std::vector<std::map<VertexId, BoundedSourceEntry>> next = state;
+    for (EdgeId eid = 0; eid < h.num_edges(); ++eid) {
+      const Edge& ed = h.edge(eid);
+      for (int dir = 0; dir < 2; ++dir) {
+        const VertexId from = dir == 0 ? ed.u : ed.v;
+        const VertexId to = dir == 0 ? ed.v : ed.u;
+        for (const auto& [source, entry] : state[static_cast<size_t>(from)]) {
+          const Weight cand = entry.dist + ed.w;
+          if (cand > radius) continue;
+          auto it2 = next[static_cast<size_t>(to)].find(source);
+          if (it2 == next[static_cast<size_t>(to)].end() ||
+              cand < it2->second.dist) {
+            BoundedSourceEntry e;
+            e.source = source;
+            e.dist = cand;
+            e.parent = from;
+            e.parent_edge = eid;
+            next[static_cast<size_t>(to)][source] = e;
+            changed = true;
+          }
+        }
+      }
+    }
+    // Hopset-edge relaxations: hubs exchange their estimates globally
+    // (Lemma 1: O(M + D) rounds for M hub updates) and relax F locally.
+    for (size_t he_index = 0; he_index < hopset.edges.size(); ++he_index) {
+      const HopsetEdge& he = hopset.edges[he_index];
+      for (int dir = 0; dir < 2; ++dir) {
+        const VertexId from = dir == 0 ? he.u : he.v;
+        const VertexId to = dir == 0 ? he.v : he.u;
+        for (const auto& [source, entry] : state[static_cast<size_t>(from)]) {
+          const Weight cand = entry.dist + he.length;
+          if (cand > radius) continue;
+          auto it2 = next[static_cast<size_t>(to)].find(source);
+          if (it2 == next[static_cast<size_t>(to)].end() ||
+              cand < it2->second.dist) {
+            BoundedSourceEntry e;
+            e.source = source;
+            e.dist = cand;
+            e.parent = from;
+            e.hopset_edge = static_cast<int>(he_index);
+            e.hopset_forward = dir == 0;
+            next[static_cast<size_t>(to)][source] = e;
+            changed = true;
+            ++hub_updates;
+          }
+        }
+      }
+    }
+    state = std::move(next);
+    cost.rounds += 1 + hub_updates + 2 * static_cast<std::uint64_t>(
+                                             hop_diameter);
+    cost.messages += static_cast<std::uint64_t>(h.num_edges()) * 2 +
+                     hub_updates *
+                         (static_cast<std::uint64_t>(hop_diameter) + 1);
+    cost.words = cost.messages * 2;
+    cost.max_edge_load = 1;
+    if (!changed) break;
+  }
+
+  BoundedMultiSourceResult result = finalize_tables(state);
+  result.cost = cost;
+  return result;
+}
+
+std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
+                                 const Hopset* hopset, VertexId target,
+                                 VertexId source) {
+  std::vector<EdgeId> path;
+  VertexId cur = target;
+  size_t guard = 0;
+  while (cur != source) {
+    const BoundedSourceEntry* e = find_entry(result, cur, source);
+    if (e == nullptr) return {};
+    if (e->hopset_edge >= 0) {
+      LN_ASSERT_MSG(hopset != nullptr,
+                    "hopset record without a hopset to expand it");
+      const HopsetEdge& he =
+          hopset->edges[static_cast<size_t>(e->hopset_edge)];
+      // Path is stored u->v; walking backwards from `cur` we append it
+      // reversed when the relaxation went u->v (cur == v side).
+      if (e->hopset_forward) {
+        path.insert(path.end(), he.path.rbegin(), he.path.rend());
+      } else {
+        path.insert(path.end(), he.path.begin(), he.path.end());
+      }
+      cur = e->parent;
+    } else if (e->parent == kNoVertex) {
+      break;  // reached the source record
+    } else {
+      path.push_back(e->parent_edge);
+      cur = e->parent;
+    }
+    LN_ASSERT_MSG(++guard <= result.table.size() * 4,
+                  "path extraction did not terminate");
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lightnet

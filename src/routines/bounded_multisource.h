@@ -1,0 +1,62 @@
+// Δ-bounded multi-source (1+ε)-approximate shortest paths (§7.1).
+//
+// Runs all sources' bounded explorations in parallel over the CONGEST
+// kernel: every vertex keeps one (distance, parent) record per source whose
+// ball reaches it and pipelines updates one message per edge per round. In
+// doubling graphs the packing property bounds the number of sources
+// touching any vertex, which bounds both memory and rounds — the
+// max_sources_per_vertex field is the per-run certificate of that argument.
+//
+// The optional hopset mode reproduces the paper's acceleration: β rounds of
+// Bellman-Ford over G interleaved with global exchanges of hub estimates
+// (charged per Lemma 1), with hopset edges relaxed through their reported
+// paths so the spanner can still add real G-edges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+#include "routines/hopset.h"
+
+namespace lightnet {
+
+struct BoundedSourceEntry {
+  VertexId source = kNoVertex;
+  Weight dist = 0.0;
+  VertexId parent = kNoVertex;   // kNoVertex at the source itself
+  EdgeId parent_edge = kNoEdge;  // kNoEdge at source; otherwise a G-edge or
+  int hopset_edge = -1;          // index into hopset.edges when relaxed via F
+  bool hopset_forward = true;    // orientation of that hopset edge
+};
+
+struct BoundedMultiSourceResult {
+  // table[v]: entries sorted by source id; one per source with
+  // d_H(source, v) ≤ radius (H = (1+ε)-rounded weights).
+  std::vector<std::vector<BoundedSourceEntry>> table;
+  size_t max_sources_per_vertex = 0;
+  congest::CostStats cost;
+};
+
+// Kernel (message-level) implementation.
+BoundedMultiSourceResult bounded_multi_source_paths(
+    const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
+    double epsilon);
+
+// Hopset-accelerated implementation: at most `hopset.hop_limit * 3`
+// Bellman-Ford iterations, hub estimates exchanged globally each iteration
+// (Lemma 1 charge). Produces the same table interface.
+BoundedMultiSourceResult bounded_multi_source_paths_hopset(
+    const WeightedGraph& g, const Hopset& hopset,
+    std::span<const VertexId> sources, Weight radius, double epsilon,
+    int hop_diameter);
+
+// Walks parent records back from `target` to `source`, returning G-edge ids
+// (hopset records expand to their reported paths). Empty if the source's
+// ball does not reach target.
+std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
+                                 const Hopset* hopset, VertexId target,
+                                 VertexId source);
+
+}  // namespace lightnet

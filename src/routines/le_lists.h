@@ -1,0 +1,57 @@
+// Least-Element lists ([Coh97]; distributed per [FL16], Theorem 4).
+//
+// Given a set A of active vertices and a permutation π of A (encoded as
+// 64-bit ranks, lower = earlier), the LE list of v is
+//   LE(v) = {(u, d(u,v)) : u ∈ A, no w ∈ A with d(v,w) ≤ d(v,u), π(w) < π(u)}.
+//
+// We compute the lists with a message-level pruned multi-source
+// Bellman-Ford: every vertex keeps the Pareto front of (distance, rank)
+// pairs it has learned, and pipelines undominated updates to its neighbors
+// one message per edge per round (strict CONGEST). [KKM+12] bounds the list
+// size by O(log |A|) w.h.p., which bounds both memory and the pipeline
+// backlog.
+//
+// Faithfulness to [FL16]: they compute the lists w.r.t. a graph H with
+// d_G ≤ d_H ≤ (1+δ)·d_G rather than G itself. Passing delta > 0 reproduces
+// that behaviour exactly (H = weights rounded up to powers of (1+δ));
+// delta = 0 yields exact lists.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet {
+
+struct LeListEntry {
+  VertexId source = kNoVertex;
+  Weight dist = 0.0;           // distance in H (see above)
+  std::uint64_t rank = 0;      // π(source)
+};
+
+struct LeListsResult {
+  // lists[v] sorted by increasing distance (hence strictly decreasing rank:
+  // the Pareto-front property of LE lists).
+  std::vector<std::vector<LeListEntry>> lists;
+  size_t max_list_size = 0;
+  congest::CostStats cost;
+};
+
+// `rank[v]` must be set for every v in `active`; entries for inactive
+// vertices are ignored. Ranks must be distinct across active vertices.
+LeListsResult compute_le_lists(const WeightedGraph& g,
+                               std::span<const VertexId> active,
+                               std::span<const std::uint64_t> rank,
+                               double delta);
+
+// Brute-force sequential reference (Dijkstra from every active vertex);
+// used by tests to validate the distributed computation entry by entry.
+LeListsResult reference_le_lists(const WeightedGraph& g,
+                                 std::span<const VertexId> active,
+                                 std::span<const std::uint64_t> rank,
+                                 double delta);
+
+}  // namespace lightnet

@@ -1,0 +1,40 @@
+// Internal invariant checking for lightnet.
+//
+// LN_ASSERT is for internal invariants that indicate a bug in this library
+// if violated; it is active in all build types (these algorithms are subtle
+// translations of proofs — silent corruption is worse than an abort).
+// LN_REQUIRE is for caller-facing precondition violations and throws
+// std::invalid_argument so callers and tests can handle them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lightnet {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LN_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lightnet
+
+#define LN_ASSERT(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::lightnet::assertion_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LN_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::lightnet::assertion_failure(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define LN_REQUIRE(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr)) throw std::invalid_argument((msg));                     \
+  } while (0)

@@ -1,0 +1,15 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lightnet {
+
+double Rng::next_exponential(double lambda) {
+  LN_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+  // Inverse CDF on (0,1]; 1 - next_double() avoids log(0).
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
+}  // namespace lightnet

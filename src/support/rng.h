@@ -1,0 +1,85 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized algorithm in lightnet takes an explicit 64-bit seed and
+// derives all of its randomness from an Rng constructed here, so that a run
+// is a pure function of (graph, parameters, seed). We use SplitMix64 for
+// seeding/stream-splitting and xoshiro256** as the workhorse generator —
+// both are tiny, fast, and reproducible across platforms (unlike
+// std::mt19937 + std::uniform_*_distribution, whose outputs are not
+// guaranteed identical across standard library implementations).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lightnet {
+
+// SplitMix64: used to expand a user seed into generator state and to derive
+// independent per-subsystem streams (seed ^ stream-tag).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  // Derives an independent stream; used to give each phase/vertex its own
+  // generator without correlation.
+  Rng split(std::uint64_t tag) {
+    return Rng(next() ^ (tag * 0x9e3779b97f4a7c15ULL));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire-style rejection-free-ish reduction with a retry loop for the
+    // biased tail; bias is negligible for our bounds but we keep it exact.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponential with rate lambda (mean 1/lambda).
+  double next_exponential(double lambda);
+
+  // True with probability p.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  // Uniform double in [lo, hi).
+  double next_uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lightnet

@@ -1,0 +1,113 @@
+#include "routines/approx_spt.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+class ApproxSptEpsilonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApproxSptEpsilonTest, SatisfiesEquationOne) {
+  const double eps = GetParam();
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const ApproxSptResult spt = build_approx_spt(g, 0, eps);
+    const ShortestPathTree ref = dijkstra(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      // Eq. (1): d_G ≤ d_Trt ≤ (1+ε)·d_G.
+      EXPECT_GE(spt.dist[static_cast<size_t>(v)],
+                ref.dist[static_cast<size_t>(v)] - 1e-9)
+          << name;
+      EXPECT_LE(spt.dist[static_cast<size_t>(v)],
+                (1.0 + eps) * ref.dist[static_cast<size_t>(v)] + 1e-9)
+          << name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, ApproxSptEpsilonTest,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 1.0));
+
+TEST(ApproxSpt, ExactModeMatchesDijkstra) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const ApproxSptResult spt = build_approx_spt(g, 0, 0.0);
+    const ShortestPathTree ref = dijkstra(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_NEAR(spt.dist[static_cast<size_t>(v)],
+                  ref.dist[static_cast<size_t>(v)], 1e-9)
+          << name;
+  }
+}
+
+TEST(ApproxSpt, TreeDistancesDominateLabels) {
+  // The label is measured in rounded weights; walking the tree in original
+  // weights can only be shorter.
+  const WeightedGraph g =
+      erdos_renyi(40, 0.15, WeightLaw::kHeavyTail, 100.0, 5);
+  const ApproxSptResult spt = build_approx_spt(g, 0, 0.3);
+  const auto tree_dist = spt.tree.distances_from_root();
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LE(tree_dist[static_cast<size_t>(v)],
+              spt.dist[static_cast<size_t>(v)] + 1e-9);
+}
+
+TEST(ApproxSpt, TreeIsSpanning) {
+  const WeightedGraph g = erdos_renyi(30, 0.2, WeightLaw::kUniform, 9.0, 6);
+  const ApproxSptResult spt = build_approx_spt(g, 3, 0.25);
+  EXPECT_EQ(spt.tree.root, 3);
+  EXPECT_EQ(spt.tree.num_vertices(), 30);
+  // from_parents validated reachability already; check parent edges exist.
+  for (VertexId v = 0; v < 30; ++v) {
+    if (v == 3) continue;
+    const EdgeId e = spt.tree.parent_edge[static_cast<size_t>(v)];
+    ASSERT_NE(e, kNoEdge);
+    const Edge& ed = g.edge(e);
+    EXPECT_TRUE(ed.u == v || ed.v == v);
+  }
+}
+
+TEST(ApproxSpt, ForestVariantCoversAllSources) {
+  const WeightedGraph g = grid(6, 6, /*perturb=*/true, 7);
+  const std::vector<VertexId> sources{0, 35, 17};
+  const ApproxSptForestResult forest =
+      build_approx_spt_forest(g, sources, 0.1);
+  const MultiSourceResult ref = multi_source_dijkstra(g, sources);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(forest.dist[static_cast<size_t>(v)],
+              ref.dist[static_cast<size_t>(v)] - 1e-9);
+    EXPECT_LE(forest.dist[static_cast<size_t>(v)],
+              1.1 * ref.dist[static_cast<size_t>(v)] + 1e-9);
+  }
+  for (VertexId s : sources)
+    EXPECT_EQ(forest.owner[static_cast<size_t>(s)], s);
+}
+
+TEST(RoundWeightsUp, WithinFactorAndMonotone) {
+  const WeightedGraph g =
+      erdos_renyi(20, 0.3, WeightLaw::kHeavyTail, 1000.0, 8);
+  const WeightedGraph r = round_weights_up(g, 0.2);
+  ASSERT_EQ(r.num_edges(), g.num_edges());
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    EXPECT_GE(r.edge(id).w, g.edge(id).w - 1e-12);
+    EXPECT_LE(r.edge(id).w, g.edge(id).w * 1.2 * (1.0 + 1e-9));
+  }
+}
+
+TEST(RoundWeightsUp, ZeroEpsilonIsIdentity) {
+  const WeightedGraph g = erdos_renyi(15, 0.3, WeightLaw::kUniform, 9.0, 9);
+  const WeightedGraph r = round_weights_up(g, 0.0);
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    EXPECT_DOUBLE_EQ(r.edge(id).w, g.edge(id).w);
+}
+
+TEST(ApproxSpt, RequiresConnectedGraph) {
+  const WeightedGraph g =
+      WeightedGraph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_THROW(build_approx_spt(g, 0, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightnet

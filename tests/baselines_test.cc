@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/greedy_spanner.h"
+#include "baseline/kry_slt.h"
+#include "baseline/sequential_net.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+class GreedySpannerTTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GreedySpannerTTest, StretchGuarantee) {
+  const double t = GetParam();
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto spanner = greedy_spanner(g, t);
+    EXPECT_LE(max_edge_stretch(g, spanner), t + 1e-6) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stretches, GreedySpannerTTest,
+                         ::testing::Values(1.0, 3.0, 5.0, 7.0));
+
+TEST(GreedySpanner, StretchOneKeepsEverything) {
+  const WeightedGraph g = complete_euclidean(15, 3).graph;
+  const auto spanner = greedy_spanner(g, 1.0);
+  EXPECT_EQ(static_cast<int>(spanner.size()), g.num_edges());
+}
+
+TEST(GreedySpanner, SparsifiesCompleteGraphs) {
+  const WeightedGraph g = complete_euclidean(40, 4).graph;
+  const auto spanner = greedy_spanner(g, 3.0);
+  // Girth bound: a 3-spanner from the greedy algorithm has O(n^{1.5})
+  // edges; K_40 has 780.
+  EXPECT_LT(spanner.size(), 400u);
+}
+
+TEST(GreedySpanner, LightnessBeatsNaive) {
+  const WeightedGraph g = ring_with_chords(60, 30, 25.0, 5);
+  const auto spanner = greedy_spanner(g, 5.0);
+  EXPECT_LE(lightness(g, spanner), 3.0);
+}
+
+class KrySltAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KrySltAlphaTest, TradeoffGuarantees) {
+  const double alpha = GetParam();
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const KrySltResult r = kry_slt(g, 0, alpha);
+    ASSERT_EQ(static_cast<int>(r.tree_edges.size()), g.num_vertices() - 1)
+        << name;
+    EXPECT_LE(root_stretch(g, r.tree_edges, 0), alpha + 1e-6)
+        << name << " alpha=" << alpha;
+    // [KRY95]: lightness ≤ 1 + 2/(α-1).
+    EXPECT_LE(lightness(g, r.tree_edges),
+              1.0 + 2.0 / (alpha - 1.0) + 1e-6)
+        << name << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, KrySltAlphaTest,
+                         ::testing::Values(1.2, 1.5, 2.0, 4.0, 8.0));
+
+TEST(KrySlt, LargeAlphaReturnsNearMst) {
+  const WeightedGraph g = ring_with_chords(40, 10, 12.0, 6);
+  const KrySltResult r = kry_slt(g, 0, 50.0);
+  EXPECT_NEAR(lightness(g, r.tree_edges), 1.0, 0.1);
+  EXPECT_EQ(r.grafted_paths, 0u);
+}
+
+TEST(KrySlt, SmallAlphaGraftsAggressively) {
+  const WeightedGraph g = ring_with_chords(40, 10, 12.0, 7);
+  const KrySltResult tight = kry_slt(g, 0, 1.05);
+  EXPECT_LE(root_stretch(g, tight.tree_edges, 0), 1.05 + 1e-6);
+}
+
+TEST(KrySlt, RejectsAlphaBelowOne) {
+  const WeightedGraph g = path_graph(4, WeightLaw::kUnit, 1.0, 1);
+  EXPECT_THROW(kry_slt(g, 0, 1.0), std::invalid_argument);
+}
+
+TEST(GreedyNet, CoveringAndSeparated) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const double beta = 0.5 * g.max_edge_weight();
+    const auto net = greedy_net(g, beta);
+    ASSERT_FALSE(net.empty()) << name;
+    const NetCheck check = check_net(g, net, beta, beta);
+    EXPECT_TRUE(check.covering) << name;
+    EXPECT_TRUE(check.separated) << name;
+  }
+}
+
+TEST(GreedyNet, TinyBetaKeepsEveryone) {
+  const WeightedGraph g = grid(4, 4, /*perturb=*/false, 1);
+  const auto net = greedy_net(g, 0.5);
+  EXPECT_EQ(net.size(), 16u);
+}
+
+TEST(GreedyNet, FirstVertexAlwaysJoins) {
+  const WeightedGraph g = erdos_renyi(20, 0.3, WeightLaw::kUniform, 9.0, 8);
+  const auto net = greedy_net(g, 3.0);
+  ASSERT_FALSE(net.empty());
+  EXPECT_EQ(net.front(), 0);
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,121 @@
+#include "core/baswana_sen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/shortest_paths.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+std::vector<char> all_allowed(const WeightedGraph& g) {
+  return std::vector<char>(static_cast<size_t>(g.num_edges()), 1);
+}
+
+// Stretch certificate restricted to allowed edges, measured through the
+// spanner's own edges.
+double allowed_edge_stretch(const WeightedGraph& g,
+                            std::span<const char> allowed,
+                            std::span<const EdgeId> spanner) {
+  const WeightedGraph h = g.edge_subgraph(spanner);
+  double worst = 0.0;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    bool any = false;
+    for (const Incidence& inc : g.incident(u))
+      if (inc.neighbor > u && allowed[static_cast<size_t>(inc.edge)])
+        any = true;
+    if (!any) continue;
+    const ShortestPathTree t = dijkstra(h, u);
+    for (const Incidence& inc : g.incident(u)) {
+      if (inc.neighbor <= u || !allowed[static_cast<size_t>(inc.edge)])
+        continue;
+      const Weight dh = t.dist[static_cast<size_t>(inc.neighbor)];
+      if (dh == kInfiniteDistance) return kInfiniteDistance;
+      worst = std::max(worst, dh / g.edge(inc.edge).w);
+    }
+  }
+  return worst;
+}
+
+class BaswanaSenKTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(BaswanaSenKTest, StretchAtMostTwoKMinusOne) {
+  const auto [k, seed] = GetParam();
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto allowed = all_allowed(g);
+    const BaswanaSenResult r = baswana_sen_spanner(g, allowed, k, seed);
+    const double stretch = allowed_edge_stretch(g, allowed, r.spanner);
+    EXPECT_LE(stretch, 2.0 * k - 1.0 + 1e-6) << name << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BaswanaSenKTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1u, 7u, 99u)));
+
+TEST(BaswanaSen, KOneKeepsAllAllowedEdges) {
+  // 2k-1 = 1: the spanner must preserve every allowed edge's weight
+  // exactly, which forces keeping (essentially) all of them.
+  const WeightedGraph g = erdos_renyi(20, 0.3, WeightLaw::kUniform, 9.0, 3);
+  const auto allowed = all_allowed(g);
+  const BaswanaSenResult r = baswana_sen_spanner(g, allowed, 1, 5);
+  const double stretch = allowed_edge_stretch(g, allowed, r.spanner);
+  EXPECT_LE(stretch, 1.0 + 1e-9);
+}
+
+TEST(BaswanaSen, SparsifiesDenseGraphs) {
+  const WeightedGraph g = complete_euclidean(40, 4).graph;  // 780 edges
+  const auto allowed = all_allowed(g);
+  const BaswanaSenResult r = baswana_sen_spanner(g, allowed, 3, 6);
+  EXPECT_LT(r.spanner.size(), 500u);
+  EXPECT_LE(allowed_edge_stretch(g, allowed, r.spanner), 5.0 + 1e-6);
+}
+
+TEST(BaswanaSen, RestrictedEdgeSetOnlyUsesAllowedEdges) {
+  const WeightedGraph g = erdos_renyi(30, 0.25, WeightLaw::kUniform, 9.0, 7);
+  std::vector<char> allowed(static_cast<size_t>(g.num_edges()), 0);
+  for (EdgeId id = 0; id < g.num_edges(); id += 2)
+    allowed[static_cast<size_t>(id)] = 1;
+  const BaswanaSenResult r = baswana_sen_spanner(g, allowed, 2, 8);
+  for (EdgeId id : r.spanner)
+    EXPECT_TRUE(allowed[static_cast<size_t>(id)]);
+  EXPECT_LE(allowed_edge_stretch(g, allowed, r.spanner), 3.0 + 1e-6);
+}
+
+TEST(BaswanaSen, DeterministicPerSeed) {
+  const WeightedGraph g = erdos_renyi(25, 0.3, WeightLaw::kUniform, 9.0, 9);
+  const auto allowed = all_allowed(g);
+  const BaswanaSenResult a = baswana_sen_spanner(g, allowed, 3, 42);
+  const BaswanaSenResult b = baswana_sen_spanner(g, allowed, 3, 42);
+  EXPECT_EQ(a.spanner, b.spanner);
+}
+
+TEST(BaswanaSen, CostIsConstantRounds) {
+  const WeightedGraph g = erdos_renyi(50, 0.1, WeightLaw::kUniform, 9.0, 10);
+  const auto allowed = all_allowed(g);
+  const BaswanaSenResult r = baswana_sen_spanner(g, allowed, 4, 11);
+  EXPECT_LE(r.cost.rounds, 3u * 4u + 2u);
+}
+
+TEST(BaswanaSen, SizeNearExpectedBoundOnAverage) {
+  // Expected size O(k n^{1+1/k}); average over seeds must sit under a
+  // generous multiple.
+  const WeightedGraph g = complete_euclidean(32, 12).graph;
+  const auto allowed = all_allowed(g);
+  double total = 0.0;
+  const int trials = 8;
+  for (int s = 0; s < trials; ++s)
+    total += static_cast<double>(
+        baswana_sen_spanner(g, allowed, 2, 100 + s).spanner.size());
+  const double expected_cap = 8.0 * 2.0 * std::pow(32.0, 1.5);
+  EXPECT_LE(total / trials, expected_cap);
+}
+
+}  // namespace
+}  // namespace lightnet

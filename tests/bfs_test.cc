@@ -1,0 +1,75 @@
+#include "congest/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "tests/test_util.h"
+
+namespace lightnet::congest {
+namespace {
+
+TEST(BfsTree, DepthsMatchSequentialBfs) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const BfsTreeResult bfs = build_bfs_tree(g, 0);
+    const auto hops = bfs_hops(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      EXPECT_EQ(bfs.depth[static_cast<size_t>(v)],
+                hops[static_cast<size_t>(v)])
+          << name << " vertex " << v;
+  }
+}
+
+TEST(BfsTree, ParentsAreOneLevelUp) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const BfsTreeResult bfs = build_bfs_tree(g, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (v == 0) {
+        EXPECT_EQ(bfs.parent[static_cast<size_t>(v)], kNoVertex) << name;
+        continue;
+      }
+      const VertexId p = bfs.parent[static_cast<size_t>(v)];
+      ASSERT_NE(p, kNoVertex) << name;
+      EXPECT_EQ(bfs.depth[static_cast<size_t>(v)],
+                bfs.depth[static_cast<size_t>(p)] + 1)
+          << name;
+      EXPECT_NE(g.find_edge(p, v), kNoEdge) << name;
+    }
+  }
+}
+
+TEST(BfsTree, RoundsAreProportionalToDiameter) {
+  const WeightedGraph g = path_graph(50, WeightLaw::kUnit, 1.0, 1);
+  const BfsTreeResult bfs = build_bfs_tree(g, 0);
+  EXPECT_EQ(bfs.height, 49);
+  EXPECT_LE(bfs.cost.rounds, 49u + 3u);
+  EXPECT_EQ(bfs.cost.max_edge_load, 1u);
+}
+
+TEST(BfsTree, HeightFromCentralRootIsHalved) {
+  const WeightedGraph g = path_graph(51, WeightLaw::kUnit, 1.0, 1);
+  const BfsTreeResult bfs = build_bfs_tree(g, 25);
+  EXPECT_EQ(bfs.height, 25);
+}
+
+TEST(BfsTree, WeightsAreIgnored) {
+  // Heavy short path vs light long path: BFS takes the hop-short one.
+  const WeightedGraph g = WeightedGraph::from_edges(
+      4, {{0, 3, 100.0}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  const BfsTreeResult bfs = build_bfs_tree(g, 0);
+  EXPECT_EQ(bfs.depth[3], 1);
+}
+
+TEST(BfsTree, SingleVertex) {
+  const WeightedGraph g = path_graph(1, WeightLaw::kUnit, 1.0, 1);
+  const BfsTreeResult bfs = build_bfs_tree(g, 0);
+  EXPECT_EQ(bfs.height, 0);
+}
+
+TEST(BfsTree, RejectsBadRoot) {
+  const WeightedGraph g = path_graph(3, WeightLaw::kUnit, 1.0, 1);
+  EXPECT_THROW(build_bfs_tree(g, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightnet::congest

@@ -1,0 +1,133 @@
+#include "routines/bounded_multisource.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+TEST(BoundedMultiSource, TablesMatchBoundedDijkstra) {
+  const WeightedGraph g = grid(6, 6, /*perturb=*/true, 3);
+  const std::vector<VertexId> sources{0, 17, 35};
+  const Weight radius = 3.0;
+  const BoundedMultiSourceResult r =
+      bounded_multi_source_paths(g, sources, radius, 0.0);
+  for (VertexId s : sources) {
+    const ShortestPathTree ref = dijkstra_bounded(g, s, radius);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const BoundedSourceEntry* entry = nullptr;
+      for (const BoundedSourceEntry& e :
+           r.table[static_cast<size_t>(v)])
+        if (e.source == s) entry = &e;
+      if (ref.dist[static_cast<size_t>(v)] == kInfiniteDistance) {
+        EXPECT_EQ(entry, nullptr) << "source " << s << " vertex " << v;
+      } else {
+        ASSERT_NE(entry, nullptr) << "source " << s << " vertex " << v;
+        EXPECT_NEAR(entry->dist, ref.dist[static_cast<size_t>(v)], 1e-9);
+      }
+    }
+  }
+  EXPECT_EQ(r.cost.max_edge_load, 1u);
+}
+
+TEST(BoundedMultiSource, PathExtractionRealizesDistance) {
+  const WeightedGraph g = erdos_renyi(40, 0.15, WeightLaw::kUniform, 9.0, 4);
+  const std::vector<VertexId> sources{0, 20};
+  const Weight radius = 12.0;
+  const BoundedMultiSourceResult r =
+      bounded_multi_source_paths(g, sources, radius, 0.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const BoundedSourceEntry& e : r.table[static_cast<size_t>(v)]) {
+      const std::vector<EdgeId> path =
+          extract_path(r, nullptr, v, e.source);
+      if (v == e.source) continue;
+      ASSERT_FALSE(path.empty());
+      Weight sum = 0.0;
+      for (EdgeId id : path) sum += g.edge(id).w;
+      EXPECT_NEAR(sum, e.dist, 1e-9);
+    }
+  }
+}
+
+TEST(BoundedMultiSource, EpsilonRoundingStaysWithinFactor) {
+  const WeightedGraph g = grid(5, 5, /*perturb=*/true, 5);
+  const std::vector<VertexId> sources{0};
+  const double eps = 0.125;
+  const BoundedMultiSourceResult r =
+      bounded_multi_source_paths(g, sources, 8.0, eps);
+  const ShortestPathTree ref = dijkstra(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const BoundedSourceEntry& e : r.table[static_cast<size_t>(v)]) {
+      EXPECT_GE(e.dist, ref.dist[static_cast<size_t>(v)] - 1e-9);
+      EXPECT_LE(e.dist,
+                (1.0 + eps) * ref.dist[static_cast<size_t>(v)] + 1e-9);
+    }
+  }
+}
+
+TEST(BoundedMultiSource, PackingCertificateOnGeometric) {
+  // Doubling metric + spaced sources: each vertex sees O(1) sources.
+  const GeometricGraph geo = random_geometric(80, 0.25, 6);
+  std::vector<VertexId> sources;
+  for (VertexId v = 0; v < 80; v += 16) sources.push_back(v);
+  const BoundedMultiSourceResult r =
+      bounded_multi_source_paths(geo.graph, sources, 0.3, 0.0);
+  EXPECT_LE(r.max_sources_per_vertex, sources.size());
+  EXPECT_GE(r.max_sources_per_vertex, 1u);
+}
+
+TEST(BoundedMultiSource, HopsetModeMatchesPlainMode) {
+  const WeightedGraph g = path_graph(40, WeightLaw::kUnit, 1.0, 1);
+  const std::vector<VertexId> sources{0, 39};
+  const Weight radius = 12.0;
+  const HopsetResult hr = build_hopset(g, 6, 7);
+  const BoundedMultiSourceResult plain =
+      bounded_multi_source_paths(g, sources, radius, 0.0);
+  const BoundedMultiSourceResult fast = bounded_multi_source_paths_hopset(
+      g, hr.hopset, sources, radius, 0.0, g.hop_diameter());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(plain.table[static_cast<size_t>(v)].size(),
+              fast.table[static_cast<size_t>(v)].size())
+        << "vertex " << v;
+    for (size_t j = 0; j < plain.table[static_cast<size_t>(v)].size(); ++j)
+      EXPECT_NEAR(plain.table[static_cast<size_t>(v)][j].dist,
+                  fast.table[static_cast<size_t>(v)][j].dist, 1e-9);
+  }
+}
+
+TEST(BoundedMultiSource, HopsetPathsExpandToRealEdges) {
+  const WeightedGraph g = path_graph(40, WeightLaw::kUnit, 1.0, 1);
+  const std::vector<VertexId> sources{0};
+  const HopsetResult hr = build_hopset(g, 6, 8);
+  const BoundedMultiSourceResult r = bounded_multi_source_paths_hopset(
+      g, hr.hopset, sources, 20.0, 0.0, g.hop_diameter());
+  for (VertexId v = 1; v < 40; ++v) {
+    for (const BoundedSourceEntry& e : r.table[static_cast<size_t>(v)]) {
+      const std::vector<EdgeId> path = extract_path(r, &hr.hopset, v, 0);
+      ASSERT_FALSE(path.empty()) << "vertex " << v;
+      Weight sum = 0.0;
+      VertexId cur = 0;
+      for (EdgeId id : path) {
+        const Edge& ed = g.edge(id);
+        ASSERT_TRUE(ed.u == cur || ed.v == cur) << "discontinuous path";
+        cur = ed.u == cur ? ed.v : ed.u;
+        sum += ed.w;
+      }
+      EXPECT_EQ(cur, v);
+      EXPECT_NEAR(sum, e.dist, 1e-9);
+    }
+  }
+}
+
+TEST(BoundedMultiSource, EmptySourcesYieldEmptyTables) {
+  const WeightedGraph g = path_graph(5, WeightLaw::kUnit, 1.0, 1);
+  const BoundedMultiSourceResult r =
+      bounded_multi_source_paths(g, std::vector<VertexId>{}, 2.0, 0.0);
+  for (const auto& table : r.table) EXPECT_TRUE(table.empty());
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,148 @@
+#include "core/elkin_neiman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <deque>
+
+#include "graph/generators.h"
+#include "support/rng.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+// Unweighted cluster graph from a WeightedGraph's topology.
+ClusterGraph to_cluster_graph(const WeightedGraph& g) {
+  std::vector<std::pair<std::pair<int, int>, EdgeId>> edges;
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    edges.push_back({{g.edge(id).u, g.edge(id).v}, id});
+  return ClusterGraph::from_cluster_edges(g.num_vertices(), edges);
+}
+
+// Unweighted BFS distances in the spanner (cluster-level edges).
+std::vector<int> spanner_hops(int n,
+                              const std::vector<std::pair<int, int>>& edges,
+                              int source) {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (auto [a, b] : edges) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  std::vector<int> dist(static_cast<size_t>(n), -1);
+  std::deque<int> q{source};
+  dist[static_cast<size_t>(source)] = 0;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop_front();
+    for (int u : adj[static_cast<size_t>(v)]) {
+      if (dist[static_cast<size_t>(u)] < 0) {
+        dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+        q.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+class ElkinNeimanSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ElkinNeimanSweep, StretchAtMostTwoKMinusOne) {
+  const auto [k, seed] = GetParam();
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const ClusterGraph cg = to_cluster_graph(g);
+    Rng rng(seed);
+    const ElkinNeimanResult r = elkin_neiman_spanner(cg, k, rng);
+    // Every graph edge must have a ≤ (2k-1)-hop path in the spanner.
+    for (EdgeId id = 0; id < g.num_edges(); ++id) {
+      const auto dist =
+          spanner_hops(cg.num_nodes, r.cluster_edges, g.edge(id).u);
+      const int d = dist[static_cast<size_t>(g.edge(id).v)];
+      ASSERT_GE(d, 0) << name << " edge " << id << " disconnected";
+      EXPECT_LE(d, 2 * k - 1) << name << " edge " << id << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ElkinNeimanSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1u, 5u, 23u, 77u)));
+
+TEST(ElkinNeiman, TraceHasKPlusOneRounds) {
+  const ClusterGraph cg =
+      to_cluster_graph(erdos_renyi(20, 0.3, WeightLaw::kUnit, 1.0, 3));
+  Rng rng(4);
+  const ElkinNeimanResult r = elkin_neiman_spanner(cg, 3, rng);
+  EXPECT_EQ(r.rounds.size(), 4u);
+}
+
+TEST(ElkinNeiman, TraceFollowsRecurrence) {
+  const WeightedGraph g = erdos_renyi(24, 0.25, WeightLaw::kUnit, 1.0, 5);
+  const ClusterGraph cg = to_cluster_graph(g);
+  Rng rng(6);
+  const ElkinNeimanResult r = elkin_neiman_spanner(cg, 3, rng);
+  for (size_t t = 1; t < r.rounds.size(); ++t) {
+    for (int x = 0; x < cg.num_nodes; ++x) {
+      double expected = r.rounds[t - 1].m[static_cast<size_t>(x)];
+      for (const auto& [v, edge] : cg.adj[static_cast<size_t>(x)]) {
+        (void)edge;
+        expected = std::max(expected,
+                            r.rounds[t - 1].m[static_cast<size_t>(v)] - 1.0);
+      }
+      EXPECT_DOUBLE_EQ(r.rounds[t].m[static_cast<size_t>(x)], expected);
+    }
+  }
+}
+
+TEST(ElkinNeiman, ValuesStayBelowK) {
+  // r(x) < k is enforced by resampling; m values can only be r(u) - d.
+  const ClusterGraph cg =
+      to_cluster_graph(erdos_renyi(40, 0.15, WeightLaw::kUnit, 1.0, 7));
+  Rng rng(8);
+  const int k = 2;
+  const ElkinNeimanResult r = elkin_neiman_spanner(cg, k, rng);
+  for (double m : r.rounds.front().m) EXPECT_LT(m, static_cast<double>(k));
+}
+
+TEST(ElkinNeiman, ExpectedSizeOnCompleteGraph) {
+  // K_n with k=2: expected size O(n^{1.5}); check a generous cap averaged
+  // over seeds.
+  const ClusterGraph cg = to_cluster_graph(complete_euclidean(30, 9).graph);
+  double total = 0.0;
+  const int trials = 10;
+  for (int s = 0; s < trials; ++s) {
+    Rng rng(100 + static_cast<std::uint64_t>(s));
+    total += static_cast<double>(
+        elkin_neiman_spanner(cg, 2, rng).cluster_edges.size());
+  }
+  EXPECT_LE(total / trials, 10.0 * std::pow(30.0, 1.5));
+}
+
+TEST(ElkinNeiman, SingleNodeGraph) {
+  ClusterGraph cg;
+  cg.num_nodes = 1;
+  cg.adj.resize(1);
+  Rng rng(1);
+  const ElkinNeimanResult r = elkin_neiman_spanner(cg, 2, rng);
+  EXPECT_TRUE(r.cluster_edges.empty());
+}
+
+TEST(ClusterGraphBuilder, DeduplicatesParallelPairs) {
+  const ClusterGraph cg = ClusterGraph::from_cluster_edges(
+      3, {{{0, 1}, 5}, {{1, 0}, 6}, {{1, 2}, 7}});
+  EXPECT_EQ(cg.adj[0].size(), 1u);
+  EXPECT_EQ(cg.adj[1].size(), 2u);
+  // First representative wins.
+  EXPECT_EQ(cg.adj[0][0].second, 5);
+}
+
+TEST(ClusterGraphBuilder, RejectsSelfLoops) {
+  EXPECT_THROW(ClusterGraph::from_cluster_edges(2, {{{1, 1}, 0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,147 @@
+#include "mst/euler_tour.h"
+
+#include <gtest/gtest.h>
+
+#include "congest/bfs.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+EulerTourResult tour_of(const WeightedGraph& g, VertexId rt) {
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, rt);
+  const DistributedMstResult mst = build_distributed_mst(g, rt);
+  return build_euler_tour(g, mst, bfs);
+}
+
+TEST(EulerTour, MatchesSequentialReferenceOnZoo) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const DistributedMstResult mst = build_distributed_mst(g, 0);
+    const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+    const EulerTourResult tour = build_euler_tour(g, mst, bfs);
+    const ReferenceTour ref = reference_euler_tour(mst.tree);
+    ASSERT_EQ(tour.sequence.size(), ref.sequence.size()) << name;
+    for (size_t i = 0; i < ref.sequence.size(); ++i) {
+      EXPECT_EQ(tour.sequence[i], ref.sequence[i]) << name << " pos " << i;
+      EXPECT_NEAR(tour.times[i], ref.times[i], 1e-9) << name << " pos " << i;
+    }
+  }
+}
+
+TEST(EulerTour, TotalLengthIsTwiceMstWeight) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const EulerTourResult tour = tour_of(g, 0);
+    EXPECT_NEAR(tour.total_length, 2.0 * mst_weight(g), 1e-9) << name;
+  }
+}
+
+TEST(EulerTour, AppearanceCountEqualsTreeDegree) {
+  const WeightedGraph g = erdos_renyi(30, 0.2, WeightLaw::kUniform, 9.0, 3);
+  const DistributedMstResult mst = build_distributed_mst(g, 0);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+  const EulerTourResult tour = build_euler_tour(g, mst, bfs);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const size_t deg =
+        mst.tree.children[static_cast<size_t>(v)].size() + (v == 0 ? 0 : 1);
+    const size_t expected = (v == 0) ? deg + 1 : deg;
+    EXPECT_EQ(tour.appearances[static_cast<size_t>(v)].size(), expected)
+        << "vertex " << v;
+  }
+}
+
+TEST(EulerTour, PositionsAreABijection) {
+  const WeightedGraph g = erdos_renyi(25, 0.25, WeightLaw::kUniform, 9.0, 5);
+  const EulerTourResult tour = tour_of(g, 0);
+  EXPECT_EQ(tour.num_positions, 2 * 25 - 1);
+  EXPECT_EQ(static_cast<std::int64_t>(tour.sequence.size()),
+            tour.num_positions);
+  // build_euler_tour internally asserts each position is claimed exactly
+  // once; spot-check end points.
+  EXPECT_EQ(tour.sequence.front(), 0);  // starts at the root
+  EXPECT_EQ(tour.sequence.back(), 0);   // closes at the root
+  EXPECT_DOUBLE_EQ(tour.times.front(), 0.0);
+  EXPECT_NEAR(tour.times.back(), tour.total_length, 1e-9);
+}
+
+TEST(EulerTour, ConsecutivePositionsAreTreeAdjacent) {
+  const WeightedGraph g = erdos_renyi(30, 0.2, WeightLaw::kUniform, 9.0, 6);
+  const DistributedMstResult mst = build_distributed_mst(g, 0);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+  const EulerTourResult tour = build_euler_tour(g, mst, bfs);
+  std::set<std::pair<VertexId, VertexId>> tree_pairs;
+  for (EdgeId id : mst.mst_edges) {
+    const Edge& e = g.edge(id);
+    tree_pairs.insert(std::minmax(e.u, e.v));
+  }
+  for (size_t i = 0; i + 1 < tour.sequence.size(); ++i) {
+    const auto pair = std::minmax(tour.sequence[i], tour.sequence[i + 1]);
+    EXPECT_TRUE(tree_pairs.count(pair))
+        << "positions " << i << "," << i + 1 << " not tree-adjacent";
+    // Time increment equals the traversed edge weight.
+    const EdgeId e = g.find_edge(pair.first, pair.second);
+    EXPECT_NEAR(tour.times[i + 1] - tour.times[i], g.edge(e).w, 1e-9);
+  }
+}
+
+TEST(EulerTour, EachTreeEdgeTraversedTwice) {
+  const WeightedGraph g = erdos_renyi(30, 0.2, WeightLaw::kUniform, 9.0, 7);
+  const DistributedMstResult mst = build_distributed_mst(g, 0);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+  const EulerTourResult tour = build_euler_tour(g, mst, bfs);
+  std::map<std::pair<VertexId, VertexId>, int> crossings;
+  for (size_t i = 0; i + 1 < tour.sequence.size(); ++i)
+    ++crossings[std::minmax(tour.sequence[i], tour.sequence[i + 1])];
+  EXPECT_EQ(crossings.size(), mst.mst_edges.size());
+  for (const auto& [pair, count] : crossings) EXPECT_EQ(count, 2);
+}
+
+TEST(EulerTour, IndicesMatchSequencePositions) {
+  const WeightedGraph g = grid(5, 4, /*perturb=*/true, 8);
+  const EulerTourResult tour = tour_of(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const TourAppearance& app :
+         tour.appearances[static_cast<size_t>(v)]) {
+      EXPECT_EQ(tour.sequence[static_cast<size_t>(app.index)], v);
+      EXPECT_NEAR(tour.times[static_cast<size_t>(app.index)], app.time,
+                  1e-9);
+    }
+  }
+}
+
+TEST(EulerTour, PathGraphIsOutAndBack) {
+  const WeightedGraph g = path_graph(5, WeightLaw::kUnit, 1.0, 1);
+  const EulerTourResult tour = tour_of(g, 0);
+  const std::vector<VertexId> expected{0, 1, 2, 3, 4, 3, 2, 1, 0};
+  EXPECT_EQ(tour.sequence, expected);
+}
+
+TEST(EulerTour, StarVisitsCenterBetweenLeaves) {
+  const WeightedGraph g = star_graph(4, WeightLaw::kUnit, 1.0, 1);
+  const EulerTourResult tour = tour_of(g, 0);
+  // 0 1 0 2 0 3 0 for a 3-leaf star rooted at the center.
+  const std::vector<VertexId> expected{0, 1, 0, 2, 0, 3, 0};
+  EXPECT_EQ(tour.sequence, expected);
+}
+
+TEST(EulerTour, WorksFromNonZeroRoot) {
+  const WeightedGraph g = erdos_renyi(20, 0.3, WeightLaw::kUniform, 9.0, 9);
+  const EulerTourResult tour = tour_of(g, 13);
+  EXPECT_EQ(tour.sequence.front(), 13);
+  EXPECT_EQ(tour.sequence.back(), 13);
+}
+
+TEST(EulerTour, RoundCostIsSubLinearShape) {
+  // The ledger total should be far below the naive O(n) DFS on a large
+  // path-ish instance (fragment waves + O(√n) broadcasts).
+  const WeightedGraph g = grid(20, 20, /*perturb=*/true, 10);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, 0);
+  const DistributedMstResult mst = build_distributed_mst(g, 0);
+  const EulerTourResult tour = build_euler_tour(g, mst, bfs);
+  // n = 400; naive DFS needs ≥ 2n = 800 rounds. Phase waves stay below.
+  EXPECT_LT(tour.ledger.total().rounds, 500u);
+}
+
+}  // namespace
+}  // namespace lightnet

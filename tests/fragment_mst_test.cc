@@ -1,0 +1,148 @@
+#include "mst/fragment_mst.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+TEST(FragmentMst, MatchesKruskalOnZoo) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const DistributedMstResult r = build_distributed_mst(g, 0);
+    auto distributed = r.mst_edges;
+    std::sort(distributed.begin(), distributed.end());
+    auto reference = kruskal_mst(g);
+    std::sort(reference.begin(), reference.end());
+    EXPECT_EQ(distributed, reference) << name;
+  }
+}
+
+TEST(FragmentMst, MatchesKruskalAcrossSeedsMedium) {
+  for (const auto& [name, g] : testing::medium_graph_zoo()) {
+    const DistributedMstResult r = build_distributed_mst(g, 0);
+    auto distributed = r.mst_edges;
+    std::sort(distributed.begin(), distributed.end());
+    auto reference = kruskal_mst(g);
+    std::sort(reference.begin(), reference.end());
+    EXPECT_EQ(distributed, reference) << name;
+  }
+}
+
+TEST(FragmentMst, FragmentCountIsOrderSqrtN) {
+  for (const auto& [name, g] : testing::medium_graph_zoo()) {
+    const DistributedMstResult r = build_distributed_mst(g, 0);
+    const double sqrt_n = std::sqrt(static_cast<double>(g.num_vertices()));
+    EXPECT_LE(r.fragments.num_fragments, static_cast<int>(sqrt_n) + 2)
+        << name;
+    EXPECT_GE(r.fragments.num_fragments, 1) << name;
+  }
+}
+
+TEST(FragmentMst, FragmentHopDiameterBounded) {
+  for (const auto& [name, g] : testing::medium_graph_zoo()) {
+    const DistributedMstResult r = build_distributed_mst(g, 0);
+    const double sqrt_n = std::sqrt(static_cast<double>(g.num_vertices()));
+    EXPECT_LE(r.fragments.max_hop_depth(), 2 * static_cast<int>(sqrt_n) + 2)
+        << name;
+  }
+}
+
+TEST(FragmentMst, FragmentsPartitionVertices) {
+  const WeightedGraph g = erdos_renyi(50, 0.15, WeightLaw::kUniform, 20.0, 4);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int f = r.fragments.fragment_of[static_cast<size_t>(v)];
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, r.fragments.num_fragments);
+  }
+}
+
+TEST(FragmentMst, RootFragmentContainsRoot) {
+  const WeightedGraph g = erdos_renyi(40, 0.15, WeightLaw::kUniform, 20.0, 5);
+  for (VertexId rt : {0, 7, 39}) {
+    const DistributedMstResult r = build_distributed_mst(g, rt);
+    EXPECT_EQ(r.fragments.fragment_of[static_cast<size_t>(rt)], 0);
+    EXPECT_EQ(r.fragments.fragment_root[0], rt);
+    EXPECT_EQ(r.fragments.parent_fragment[0], -1);
+  }
+}
+
+TEST(FragmentMst, FragmentRootsPointToParentFragments) {
+  const WeightedGraph g = erdos_renyi(60, 0.1, WeightLaw::kUniform, 20.0, 6);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  for (int f = 1; f < r.fragments.num_fragments; ++f) {
+    const VertexId root = r.fragments.fragment_root[static_cast<size_t>(f)];
+    EXPECT_EQ(r.fragments.fragment_of[static_cast<size_t>(root)], f);
+    const VertexId parent = r.tree.parent[static_cast<size_t>(root)];
+    ASSERT_NE(parent, kNoVertex);
+    EXPECT_EQ(r.fragments.fragment_of[static_cast<size_t>(parent)],
+              r.fragments.parent_fragment[static_cast<size_t>(f)]);
+    EXPECT_NE(r.fragments.parent_fragment[static_cast<size_t>(f)], f);
+  }
+}
+
+TEST(FragmentMst, FragmentsAreConnectedInTree) {
+  const WeightedGraph g = erdos_renyi(60, 0.1, WeightLaw::kUniform, 20.0, 7);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  // Every non-root vertex of a fragment has its tree parent in the same
+  // fragment (the defining property of subtree cutting).
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int f = r.fragments.fragment_of[static_cast<size_t>(v)];
+    if (r.fragments.fragment_root[static_cast<size_t>(f)] == v) continue;
+    EXPECT_EQ(r.fragments.fragment_of[static_cast<size_t>(
+                  r.tree.parent[static_cast<size_t>(v)])],
+              f);
+  }
+}
+
+TEST(FragmentMst, LedgerHasBoruvkaAndDecomposition) {
+  const WeightedGraph g = erdos_renyi(40, 0.2, WeightLaw::kUniform, 20.0, 8);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  bool saw_boruvka = false, saw_decomp = false;
+  for (const auto& [phase, cost] : r.ledger.phases()) {
+    if (phase == "boruvka-phase") saw_boruvka = true;
+    if (phase == "fragment-decomposition") saw_decomp = true;
+  }
+  EXPECT_TRUE(saw_boruvka);
+  EXPECT_TRUE(saw_decomp);
+  EXPECT_GT(r.ledger.total().rounds, 0u);
+}
+
+TEST(FragmentMst, PathGraphFragmentChain) {
+  const WeightedGraph g = path_graph(25, WeightLaw::kUnit, 1.0, 1);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  EXPECT_EQ(static_cast<int>(r.mst_edges.size()), 24);
+  EXPECT_LE(r.fragments.num_fragments, 6);  // 25/5 fragments of ≥5 vertices
+}
+
+TEST(CutTreeFragments, TargetOneMakesSingletons) {
+  const WeightedGraph g = path_graph(6, WeightLaw::kUnit, 1.0, 1);
+  const RootedTree t = mst_tree(g, 0);
+  const FragmentDecomposition frags = cut_tree_fragments(t, 1);
+  EXPECT_EQ(frags.num_fragments, 6);
+  EXPECT_EQ(frags.max_hop_depth(), 0);
+}
+
+TEST(CutTreeFragments, LargeTargetMakesOneFragment) {
+  const WeightedGraph g = path_graph(6, WeightLaw::kUnit, 1.0, 1);
+  const RootedTree t = mst_tree(g, 0);
+  const FragmentDecomposition frags = cut_tree_fragments(t, 100);
+  EXPECT_EQ(frags.num_fragments, 1);
+  EXPECT_EQ(frags.fragment_root[0], 0);
+}
+
+TEST(FragmentMst, SingleVertexGraph) {
+  const WeightedGraph g = path_graph(1, WeightLaw::kUnit, 1.0, 1);
+  const DistributedMstResult r = build_distributed_mst(g, 0);
+  EXPECT_TRUE(r.mst_edges.empty());
+  EXPECT_EQ(r.fragments.num_fragments, 1);
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,149 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+TEST(Generators, GeometricIsConnectedAndMetric) {
+  const GeometricGraph geo = random_geometric(64, 0.2, 7);
+  EXPECT_TRUE(geo.graph.is_connected());
+  EXPECT_EQ(geo.graph.num_vertices(), 64);
+  // Edge weights equal the Euclidean point distances.
+  for (const Edge& e : geo.graph.edges()) {
+    const double dx = geo.x[static_cast<size_t>(e.u)] -
+                      geo.x[static_cast<size_t>(e.v)];
+    const double dy = geo.y[static_cast<size_t>(e.u)] -
+                      geo.y[static_cast<size_t>(e.v)];
+    EXPECT_NEAR(e.w, std::sqrt(dx * dx + dy * dy), 1e-8);
+  }
+}
+
+TEST(Generators, GeometricIsDeterministicPerSeed) {
+  const GeometricGraph a = random_geometric(32, 0.3, 42);
+  const GeometricGraph b = random_geometric(32, 0.3, 42);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId i = 0; i < a.graph.num_edges(); ++i) {
+    EXPECT_EQ(a.graph.edge(i).u, b.graph.edge(i).u);
+    EXPECT_EQ(a.graph.edge(i).v, b.graph.edge(i).v);
+    EXPECT_DOUBLE_EQ(a.graph.edge(i).w, b.graph.edge(i).w);
+  }
+}
+
+TEST(Generators, GeometricHasLowDoublingDimension) {
+  const GeometricGraph geo = random_geometric(96, 0.25, 9);
+  const double ddim = estimate_doubling_dimension(geo.graph, 4, 1);
+  EXPECT_LE(ddim, 6.0);  // planar-ish point sets sit well below log n
+}
+
+TEST(Generators, ErdosRenyiConnectedAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const WeightedGraph g =
+        erdos_renyi(40, 0.1, WeightLaw::kUniform, 10.0, seed);
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+    EXPECT_GE(g.num_edges(), 39);
+  }
+}
+
+TEST(Generators, ErdosRenyiDensityGrowsWithP) {
+  const WeightedGraph sparse =
+      erdos_renyi(60, 0.02, WeightLaw::kUnit, 1.0, 3);
+  const WeightedGraph dense = erdos_renyi(60, 0.5, WeightLaw::kUnit, 1.0, 3);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(Generators, WeightLawsRespectBounds) {
+  for (WeightLaw law : {WeightLaw::kUnit, WeightLaw::kUniform,
+                        WeightLaw::kHeavyTail,
+                        WeightLaw::kExponentialScales}) {
+    const WeightedGraph g = erdos_renyi(30, 0.2, law, 64.0, 5);
+    for (const Edge& e : g.edges()) {
+      EXPECT_GE(e.w, 1.0 - 1e-9);
+      EXPECT_LE(e.w, 64.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Generators, UnitLawIsAllOnes) {
+  const WeightedGraph g = erdos_renyi(20, 0.3, WeightLaw::kUnit, 99.0, 6);
+  for (const Edge& e : g.edges()) EXPECT_DOUBLE_EQ(e.w, 1.0);
+}
+
+TEST(Generators, RingWithChordsStructure) {
+  const WeightedGraph g = ring_with_chords(30, 10, 25.0, 4);
+  EXPECT_TRUE(g.is_connected());
+  int ring_edges = 0, chords = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.w == 1.0) ++ring_edges;
+    if (e.w == 25.0) ++chords;
+  }
+  EXPECT_EQ(ring_edges, 30);
+  EXPECT_EQ(chords, 10);
+}
+
+TEST(Generators, GridDimensions) {
+  const WeightedGraph g = grid(4, 7, /*perturb=*/false, 1);
+  EXPECT_EQ(g.num_vertices(), 28);
+  EXPECT_EQ(g.num_edges(), 4 * 6 + 3 * 7);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, PerturbedGridHasUniqueWeights) {
+  const WeightedGraph g = grid(5, 5, /*perturb=*/true, 2);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.w, 1.0);
+    EXPECT_LE(e.w, 1.001);
+  }
+}
+
+TEST(Generators, RandomTreeIsATree) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const WeightedGraph g = random_tree(25, WeightLaw::kUniform, 9.0, seed);
+    EXPECT_EQ(g.num_edges(), 24) << "seed " << seed;
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(Generators, PathAndStarShapes) {
+  const WeightedGraph p = path_graph(10, WeightLaw::kUnit, 1.0, 1);
+  EXPECT_EQ(p.num_edges(), 9);
+  EXPECT_EQ(p.hop_diameter(), 9);
+  const WeightedGraph s = star_graph(10, WeightLaw::kUnit, 1.0, 1);
+  EXPECT_EQ(s.num_edges(), 9);
+  EXPECT_EQ(s.hop_diameter(), 2);
+  EXPECT_EQ(s.degree(0), 9);
+}
+
+TEST(Generators, LowerBoundFamilyShape) {
+  const WeightedGraph g = lower_bound_family(6, 8, 10.0, 1);
+  EXPECT_TRUE(g.is_connected());
+  // Hop diameter stays logarithmic-ish in the path length thanks to the
+  // column tree.
+  EXPECT_LE(g.hop_diameter(), 2 * 4 + 4);
+  // Unit path edges exist.
+  int unit_edges = 0;
+  for (const Edge& e : g.edges())
+    if (e.w == 1.0) ++unit_edges;
+  EXPECT_EQ(unit_edges, 6 * 7);
+}
+
+TEST(Generators, CompleteEuclideanIsComplete) {
+  const GeometricGraph geo = complete_euclidean(12, 3);
+  EXPECT_EQ(geo.graph.num_edges(), 12 * 11 / 2);
+  EXPECT_EQ(geo.graph.hop_diameter(), 1);
+}
+
+TEST(Generators, SingleVertexEdgeCases) {
+  EXPECT_EQ(path_graph(1, WeightLaw::kUnit, 1.0, 1).num_edges(), 0);
+  EXPECT_EQ(star_graph(1, WeightLaw::kUnit, 1.0, 1).num_edges(), 0);
+  EXPECT_EQ(random_tree(1, WeightLaw::kUnit, 1.0, 1).num_edges(), 0);
+  EXPECT_EQ(random_geometric(1, 0.5, 1).graph.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace lightnet

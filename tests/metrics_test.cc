@@ -1,0 +1,103 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+TEST(Metrics, LightnessOfMstIsOne) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto mst = kruskal_mst(g);
+    EXPECT_NEAR(lightness(g, mst), 1.0, 1e-9) << name;
+  }
+}
+
+TEST(Metrics, LightnessOfWholeGraph) {
+  const WeightedGraph g = WeightedGraph::from_edges(
+      3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 3.0}});
+  std::vector<EdgeId> all{0, 1, 2};
+  EXPECT_NEAR(lightness(g, all), 5.0 / 2.0, 1e-9);
+}
+
+TEST(Metrics, EdgeStretchOfFullGraphIsOne) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    std::vector<EdgeId> all(static_cast<size_t>(g.num_edges()));
+    std::iota(all.begin(), all.end(), 0);
+    EXPECT_LE(max_edge_stretch(g, all), 1.0 + 1e-9) << name;
+  }
+}
+
+TEST(Metrics, EdgeStretchDetectsDetours) {
+  // Dropping the direct heavy edge forces the 2-hop detour: stretch 2/1.5.
+  const WeightedGraph g = WeightedGraph::from_edges(
+      3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.5}});
+  const std::vector<EdgeId> spanner{0, 1};
+  EXPECT_NEAR(max_edge_stretch(g, spanner), 2.0 / 1.5, 1e-9);
+}
+
+TEST(Metrics, PairwiseStretchDominatesEdgeStretchConsistency) {
+  const WeightedGraph g = erdos_renyi(18, 0.3, WeightLaw::kUniform, 9.0, 3);
+  const auto mst = kruskal_mst(g);
+  const double edge_stretch = max_edge_stretch(g, mst);
+  const double pair_stretch = max_pairwise_stretch(g, mst);
+  // By the triangle inequality the max is attained on an edge.
+  EXPECT_NEAR(edge_stretch, pair_stretch, 1e-9);
+}
+
+TEST(Metrics, RootStretchOfSptIsOne) {
+  const WeightedGraph g = erdos_renyi(25, 0.25, WeightLaw::kUniform, 9.0, 4);
+  const RootedTree spt = shortest_path_tree(g, 0);
+  EXPECT_NEAR(root_stretch(g, spt.edge_ids(), 0), 1.0, 1e-9);
+  EXPECT_NEAR(average_root_stretch(g, spt.edge_ids(), 0), 1.0, 1e-9);
+}
+
+TEST(Metrics, RootStretchOfMstCanBeLarge) {
+  // Ring: MST drops one edge; the opposite vertex suffers ~n/1 stretch...
+  const WeightedGraph g = ring_with_chords(20, 0, 1.0, 1);
+  const auto mst = kruskal_mst(g);
+  EXPECT_GT(root_stretch(g, mst, 0), 5.0);
+}
+
+TEST(Metrics, CheckNetAcceptsValidNet) {
+  const WeightedGraph g = path_graph(9, WeightLaw::kUnit, 1.0, 1);
+  const std::vector<VertexId> net{0, 4, 8};
+  const NetCheck check = check_net(g, net, 2.0, 3.0);
+  EXPECT_TRUE(check.covering);
+  EXPECT_TRUE(check.separated);
+  EXPECT_NEAR(check.worst_cover_distance, 2.0, 1e-9);
+  EXPECT_NEAR(check.min_pair_distance, 4.0, 1e-9);
+}
+
+TEST(Metrics, CheckNetRejectsBadCovering) {
+  const WeightedGraph g = path_graph(9, WeightLaw::kUnit, 1.0, 1);
+  const std::vector<VertexId> net{0};
+  const NetCheck check = check_net(g, net, 2.0, 1.0);
+  EXPECT_FALSE(check.covering);
+}
+
+TEST(Metrics, CheckNetRejectsBadSeparation) {
+  const WeightedGraph g = path_graph(9, WeightLaw::kUnit, 1.0, 1);
+  const std::vector<VertexId> net{0, 1, 4, 8};
+  const NetCheck check = check_net(g, net, 4.0, 2.0);
+  EXPECT_FALSE(check.separated);
+}
+
+TEST(Metrics, DoublingDimensionOrdersFamilies) {
+  // A geometric graph should read as lower-dimensional than a dense random
+  // graph of the same size.
+  const WeightedGraph geo = random_geometric(64, 0.3, 5).graph;
+  const WeightedGraph er = erdos_renyi(64, 0.3, WeightLaw::kUniform, 2.0, 5);
+  const double d_geo = estimate_doubling_dimension(geo, 3, 1);
+  const double d_er = estimate_doubling_dimension(er, 3, 1);
+  EXPECT_LE(d_geo, d_er + 2.0);
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,76 @@
+#include "graph/mst.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/union_find.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+TEST(Kruskal, KnownMst) {
+  const WeightedGraph g = WeightedGraph::from_edges(
+      4, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {0, 3, 10.0}, {0, 2, 2.5}});
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst, (std::vector<EdgeId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(mst_weight(g), 6.0);
+}
+
+TEST(Kruskal, TieBreakByEdgeId) {
+  // Two identical-weight edges forming a cycle; the smaller id wins.
+  const WeightedGraph g = WeightedGraph::from_edges(
+      3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(mst, (std::vector<EdgeId>{0, 1}));
+}
+
+TEST(Kruskal, ThrowsOnDisconnected) {
+  const WeightedGraph g =
+      WeightedGraph::from_edges(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_THROW(kruskal_mst(g), std::invalid_argument);
+}
+
+TEST(Kruskal, TreeInputReturnsAllEdges) {
+  const WeightedGraph g = random_tree(30, WeightLaw::kUniform, 20.0, 5);
+  const auto mst = kruskal_mst(g);
+  EXPECT_EQ(static_cast<int>(mst.size()), 29);
+  EXPECT_DOUBLE_EQ(mst_weight(g), g.total_weight());
+}
+
+TEST(Kruskal, SpanningAndAcyclicOnZoo) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto mst = kruskal_mst(g);
+    EXPECT_EQ(static_cast<int>(mst.size()), g.num_vertices() - 1) << name;
+    UnionFind uf(g.num_vertices());
+    for (EdgeId id : mst)
+      EXPECT_TRUE(uf.unite(g.edge(id).u, g.edge(id).v))
+          << name << ": MST contains a cycle";
+    EXPECT_EQ(uf.num_components(), 1) << name;
+  }
+}
+
+TEST(Kruskal, CutPropertySpotCheck) {
+  // The lightest edge of the graph is always in the MST.
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto mst = kruskal_mst(g);
+    EdgeId lightest = 0;
+    for (EdgeId id = 0; id < g.num_edges(); ++id)
+      if (mst_edge_less(g, id, lightest)) lightest = id;
+    EXPECT_NE(std::find(mst.begin(), mst.end(), lightest), mst.end()) << name;
+  }
+}
+
+TEST(MstTree, RootedAtEachVertexHasSameWeight) {
+  const WeightedGraph g =
+      erdos_renyi(20, 0.3, WeightLaw::kUniform, 30.0, 9);
+  const Weight w = mst_weight(g);
+  for (VertexId rt : {0, 5, 19}) {
+    const RootedTree t = mst_tree(g, rt);
+    EXPECT_NEAR(t.total_weight(), w, 1e-9);
+    EXPECT_EQ(t.root, rt);
+  }
+}
+
+}  // namespace
+}  // namespace lightnet

@@ -1,0 +1,164 @@
+#include "congest/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "tests/test_util.h"
+
+namespace lightnet::congest {
+namespace {
+
+constexpr std::uint32_t kTagPing = 99;
+
+// Sends `count` tokens from vertex 0 along a path, one hop per round.
+class RelayProgram final : public NodeProgram {
+ public:
+  RelayProgram(VertexId self, int n, int count, std::vector<int>& received)
+      : self_(self), n_(n), count_(count), received_(received) {}
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    if (ctx.round() == 0 && self_ == 0) to_send_ = count_;
+    for (const Delivery& d : inbox) {
+      ++received_[static_cast<size_t>(self_)];
+      if (self_ + 1 < n_) {
+        ctx.send(self_ + 1, d.msg);
+      }
+    }
+    if (to_send_ > 0 && self_ == 0 && n_ > 1) {
+      ctx.send(1, Message(kTagPing, {static_cast<std::uint64_t>(to_send_)}));
+      --to_send_;
+    }
+  }
+
+  bool quiescent() const override { return to_send_ == 0; }
+
+ private:
+  VertexId self_;
+  int n_;
+  int count_;
+  std::vector<int>& received_;
+  int to_send_ = 0;
+};
+
+// Deliberately violates CONGEST by sending two messages on one edge.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(VertexId self) : self_(self) {}
+  void on_round(NodeContext& ctx, std::span<const Delivery>) override {
+    if (ctx.round() == 0 && self_ == 0) {
+      for (const Incidence& inc : ctx.links()) {
+        ctx.send(inc.neighbor, Message(kTagPing, {1}));
+        ctx.send(inc.neighbor, Message(kTagPing, {2}));
+      }
+    }
+    done_ = true;
+  }
+  bool quiescent() const override { return done_; }
+
+ private:
+  VertexId self_;
+  bool done_ = false;
+};
+
+WeightedGraph path4() { return path_graph(4, WeightLaw::kUnit, 1.0, 1); }
+
+TEST(Scheduler, PipelinedRelayDeliversEverything) {
+  const WeightedGraph g = path4();
+  Network net(g);
+  std::vector<int> received(4, 0);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 4; ++v)
+    programs.push_back(std::make_unique<RelayProgram>(v, 4, 5, received));
+  Scheduler sched(net, std::move(programs));
+  const CostStats cost = sched.run();
+  EXPECT_EQ(received[1], 5);
+  EXPECT_EQ(received[2], 5);
+  EXPECT_EQ(received[3], 5);
+  // Pipelining: 5 tokens over 3 hops needs about 5 + 3 rounds, not 15.
+  EXPECT_LE(cost.rounds, 10u);
+  EXPECT_EQ(cost.max_edge_load, 1u);
+  EXPECT_EQ(cost.messages, 15u);
+}
+
+TEST(Scheduler, StrictModeRejectsCongestion) {
+  const WeightedGraph g = path4();
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 4; ++v)
+    programs.push_back(std::make_unique<FloodProgram>(v));
+  Scheduler sched(net, std::move(programs));
+  EXPECT_THROW(sched.run(), std::logic_error);
+}
+
+TEST(Scheduler, RelaxedModeCountsLoad) {
+  const WeightedGraph g = path4();
+  Network net(g);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 4; ++v)
+    programs.push_back(std::make_unique<FloodProgram>(v));
+  SchedulerOptions options;
+  options.strict_congest = false;
+  Scheduler sched(net, std::move(programs), options);
+  const CostStats cost = sched.run();
+  EXPECT_EQ(cost.max_edge_load, 2u);
+}
+
+TEST(Scheduler, QuiescentNetworkStopsImmediately) {
+  const WeightedGraph g = path4();
+  Network net(g);
+  std::vector<int> received(4, 0);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 4; ++v)
+    programs.push_back(std::make_unique<RelayProgram>(v, 4, 0, received));
+  Scheduler sched(net, std::move(programs));
+  const CostStats cost = sched.run();
+  EXPECT_EQ(cost.rounds, 1u);
+  EXPECT_EQ(cost.messages, 0u);
+}
+
+TEST(Message, WordBudgetEnforced) {
+  EXPECT_NO_THROW(Message(1, {1, 2, 3}));
+  EXPECT_THROW(Message(1, {1, 2, 3, 4}), std::logic_error);
+}
+
+TEST(Message, WeightEncodingRoundTrips) {
+  for (Weight w : {0.0, 1.0, 3.14159, 1e-12, 1e12}) {
+    EXPECT_DOUBLE_EQ(Message::decode_weight(Message::encode_weight(w)), w);
+  }
+}
+
+TEST(RoundLedger, AccumulatesPhases) {
+  RoundLedger ledger;
+  CostStats a;
+  a.rounds = 10;
+  a.messages = 100;
+  a.max_edge_load = 1;
+  CostStats b;
+  b.rounds = 5;
+  b.messages = 7;
+  b.max_edge_load = 3;
+  ledger.add("a", a);
+  ledger.add("b", b);
+  EXPECT_EQ(ledger.total().rounds, 15u);
+  EXPECT_EQ(ledger.total().messages, 107u);
+  EXPECT_EQ(ledger.total().max_edge_load, 3u);
+  EXPECT_EQ(ledger.phases().size(), 2u);
+
+  RoundLedger outer;
+  outer.absorb(ledger, "inner");
+  EXPECT_EQ(outer.total().rounds, 15u);
+  EXPECT_EQ(outer.phases()[0].first, "inner/a");
+}
+
+TEST(RoundLedger, GlobalBroadcastChargeShape) {
+  RoundLedger ledger;
+  ledger.charge_global_broadcast("bc", 100, 7);
+  // Lemma 1: O(M + D) rounds.
+  EXPECT_GE(ledger.total().rounds, 100u);
+  EXPECT_LE(ledger.total().rounds, 100u + 2 * 7u + 1u);
+}
+
+}  // namespace
+}  // namespace lightnet::congest

@@ -1,0 +1,52 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace lightnet {
+namespace {
+
+TEST(UnionFind, InitiallyDisjoint) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5);
+  EXPECT_FALSE(uf.same(0, 1));
+  EXPECT_EQ(uf.find(3), 3);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_EQ(uf.num_components(), 4);
+}
+
+TEST(UnionFind, UniteIsIdempotent) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.num_components(), 4);
+}
+
+TEST(UnionFind, TransitiveMerge) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_TRUE(uf.same(0, 3));
+  EXPECT_FALSE(uf.same(0, 4));
+  EXPECT_EQ(uf.num_components(), 3);
+}
+
+TEST(UnionFind, ChainCollapsesToOneComponent) {
+  const int n = 100;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) EXPECT_TRUE(uf.unite(i, i + 1));
+  EXPECT_EQ(uf.num_components(), 1);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(uf.find(i), uf.find(0));
+}
+
+TEST(UnionFind, RejectsNegativeSize) {
+  EXPECT_THROW(UnionFind(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightnet
