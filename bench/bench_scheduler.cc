@@ -1,0 +1,152 @@
+// Scheduler hot-path microbenchmarks.
+//
+// Measures raw simulator throughput (messages/sec, rounds/sec) for the two
+// canonical CONGEST workloads — BFS flood and weighted Bellman–Ford — over
+// the four topology regimes that stress different scheduler paths:
+//  - path:   diameter Θ(n), tiny frontier → active-set rounds dominate,
+//  - grid:   diameter Θ(√n), frontier Θ(√n) → mixed,
+//  - geo:    random geometric, small diameter, fat frontier → arena churn,
+//  - clique: diameter 1, every edge busy every round → send resolution.
+//
+// Run with --benchmark_format=json --benchmark_out=BENCH_scheduler.json to
+// produce the trajectory file tracked across PRs.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "congest/bellman_ford.h"
+#include "congest/bfs.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace {
+
+using namespace lightnet;
+
+WeightedGraph make_instance(const std::string& family, std::int64_t n) {
+  if (family == "path")
+    return path_graph(static_cast<int>(n), WeightLaw::kUnit, 1.0, 1);
+  if (family == "grid") {
+    const int side = static_cast<int>(std::sqrt(static_cast<double>(n)));
+    return grid(side, side, /*perturb=*/true, 2);
+  }
+  if (family == "geo")
+    return random_geometric(static_cast<int>(n),
+                            std::sqrt(10.0 / static_cast<double>(n)), 3)
+        .graph;
+  if (family == "clique")
+    return complete_euclidean(static_cast<int>(n), 4).graph;
+  throw std::invalid_argument("unknown bench family");
+}
+
+void report_throughput(benchmark::State& state,
+                       const congest::CostStats& last_cost,
+                       std::uint64_t total_messages,
+                       std::uint64_t total_rounds) {
+  lightnet::bench::report_cost(state, last_cost);
+  state.counters["messages_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_messages), benchmark::Counter::kIsRate);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_rounds), benchmark::Counter::kIsRate);
+}
+
+void BM_SchedulerBfs(benchmark::State& state, const std::string& family) {
+  const WeightedGraph g = make_instance(family, state.range(0));
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  congest::CostStats cost;
+  for (auto _ : state) {
+    const auto result = congest::build_bfs_tree(g, 0);
+    benchmark::DoNotOptimize(result.height);
+    cost = result.cost;
+    messages += cost.messages;
+    rounds += cost.rounds;
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  report_throughput(state, cost, messages, rounds);
+}
+
+// Reference mode: full sweep (every node invoked every round), same O(1)
+// sends and arena. Isolates what the active-set tracking alone buys.
+void BM_SchedulerBfsFullSweep(benchmark::State& state,
+                              const std::string& family) {
+  const WeightedGraph g = make_instance(family, state.range(0));
+  congest::SchedulerOptions sweep;
+  sweep.full_sweep = true;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  congest::CostStats cost;
+  for (auto _ : state) {
+    const auto result = congest::build_bfs_tree(g, 0, sweep);
+    benchmark::DoNotOptimize(result.height);
+    cost = result.cost;
+    messages += cost.messages;
+    rounds += cost.rounds;
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  report_throughput(state, cost, messages, rounds);
+}
+
+void BM_SchedulerBellmanFord(benchmark::State& state,
+                             const std::string& family) {
+  const WeightedGraph g = make_instance(family, state.range(0));
+  const std::vector<VertexId> sources = {0};
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  congest::CostStats cost;
+  for (auto _ : state) {
+    const auto result = congest::distributed_bellman_ford(g, sources);
+    benchmark::DoNotOptimize(result.dist.data());
+    cost = result.cost;
+    messages += cost.messages;
+    rounds += cost.rounds;
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  report_throughput(state, cost, messages, rounds);
+}
+
+}  // namespace
+
+// n is the requested vertex count; grid rounds it down to a square.
+BENCHMARK_CAPTURE(BM_SchedulerBfs, path, "path")
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBfs, grid, "grid")
+    ->Arg(64 * 64)
+    ->Arg(256 * 256)
+    ->Arg(512 * 512)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBfs, geo, "geo")
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBfs, clique, "clique")
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_SchedulerBfsFullSweep, grid, "grid")
+    ->Arg(64 * 64)
+    ->Arg(256 * 256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBfsFullSweep, path, "path")
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_CAPTURE(BM_SchedulerBellmanFord, grid, "grid")
+    ->Arg(64 * 64)
+    ->Arg(128 * 128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBellmanFord, geo, "geo")
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SchedulerBellmanFord, clique, "clique")
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);

@@ -46,7 +46,8 @@ class BellmanFordProgram final : public NodeProgram {
           kTagDist,
           {static_cast<std::uint64_t>(out_.owner[static_cast<size_t>(self_)]),
            Message::encode_weight(out_.dist[static_cast<size_t>(self_)])});
-      for (const Incidence& inc : ctx.links()) ctx.send(inc.neighbor, msg);
+      const int degree = static_cast<int>(ctx.links().size());
+      for (int i = 0; i < degree; ++i) ctx.send_on_link(i, msg);
     }
     dirty_ = false;
   }
@@ -64,7 +65,8 @@ class BellmanFordProgram final : public NodeProgram {
 
 BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
                                            std::span<const VertexId> sources,
-                                           BellmanFordOptions options) {
+                                           BellmanFordOptions options,
+                                           SchedulerOptions sched_options) {
   BellmanFordResult result;
   const size_t n = static_cast<size_t>(g.num_vertices());
   result.dist.assign(n, kInfiniteDistance);
@@ -84,7 +86,7 @@ BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(std::make_unique<BellmanFordProgram>(
         v, is_source[static_cast<size_t>(v)] != 0, options, result));
-  Scheduler scheduler(net, std::move(programs));
+  Scheduler scheduler(net, std::move(programs), sched_options);
   result.cost = scheduler.run();
   return result;
 }

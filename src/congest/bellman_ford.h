@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 #include "graph/shortest_paths.h"
@@ -30,8 +31,11 @@ struct BellmanFordResult {
   CostStats cost;
 };
 
+// `sched_options` pins the scheduler mode (full_sweep is the active-set
+// reference); the distances and stats are identical in every mode.
 BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
                                            std::span<const VertexId> sources,
-                                           BellmanFordOptions options = {});
+                                           BellmanFordOptions options = {},
+                                           SchedulerOptions sched_options = {});
 
 }  // namespace lightnet::congest

@@ -37,9 +37,11 @@ class BfsProgram final : public NodeProgram {
       const Message msg(kTagBfs,
                         {static_cast<std::uint64_t>(
                             depth_[static_cast<size_t>(self_)])});
-      for (const Incidence& inc : ctx.links())
-        if (inc.neighbor != parent_[static_cast<size_t>(self_)])
-          ctx.send(inc.neighbor, msg);
+      const auto links = ctx.links();
+      for (int i = 0; i < static_cast<int>(links.size()); ++i)
+        if (links[static_cast<size_t>(i)].neighbor !=
+            parent_[static_cast<size_t>(self_)])
+          ctx.send_on_link(i, msg);
       announce_ = false;
     }
   }
@@ -57,7 +59,8 @@ class BfsProgram final : public NodeProgram {
 
 }  // namespace
 
-BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root) {
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root,
+                             SchedulerOptions sched_options) {
   LN_REQUIRE(root >= 0 && root < g.num_vertices(), "root out of range");
   BfsTreeResult result;
   result.root = root;
@@ -70,7 +73,7 @@ BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root) {
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(
         std::make_unique<BfsProgram>(v, root, result.parent, result.depth));
-  Scheduler scheduler(net, std::move(programs));
+  Scheduler scheduler(net, std::move(programs), sched_options);
   result.cost = scheduler.run();
 
   for (VertexId v = 0; v < g.num_vertices(); ++v) {

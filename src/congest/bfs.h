@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -20,6 +21,10 @@ struct BfsTreeResult {
   CostStats cost;
 };
 
-BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root);
+// `sched_options` is exposed so tests and benchmarks can pin the scheduler
+// mode (e.g. full_sweep as the active-set reference); the result is
+// identical in every mode.
+BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root,
+                             SchedulerOptions sched_options = {});
 
 }  // namespace lightnet::congest

@@ -1,3 +1,50 @@
 #include "congest/network.h"
 
-// Header-only for now; translation unit kept for build-surface uniformity.
+#include <algorithm>
+
+namespace lightnet::congest {
+
+Network::Network(const WeightedGraph& g) : graph_(&g) {
+  const int n = g.num_vertices();
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v)
+    offsets_[static_cast<size_t>(v) + 1] =
+        offsets_[static_cast<size_t>(v)] + g.degree(v);
+
+  const size_t total = static_cast<size_t>(offsets_[static_cast<size_t>(n)]);
+  dir_slot_.resize(total);
+  sorted_.resize(total);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto incident = g.incident(v);
+    const size_t base = static_cast<size_t>(offsets_[static_cast<size_t>(v)]);
+    for (size_t i = 0; i < incident.size(); ++i) {
+      const Incidence& inc = incident[i];
+      const std::uint32_t dir =
+          g.edge(inc.edge).u == v ? 0u : 1u;
+      dir_slot_[base + i] =
+          static_cast<std::uint32_t>(inc.edge) * 2 + dir;
+      sorted_[base + i] = {inc.neighbor, static_cast<std::int32_t>(i)};
+    }
+    std::sort(sorted_.begin() + static_cast<std::ptrdiff_t>(base),
+              sorted_.begin() +
+                  static_cast<std::ptrdiff_t>(base + incident.size()),
+              [](const SortedLink& a, const SortedLink& b) {
+                return a.neighbor < b.neighbor;
+              });
+  }
+}
+
+int Network::link_index(VertexId u, VertexId v) const {
+  const auto begin =
+      sorted_.begin() + offsets_[static_cast<size_t>(u)];
+  const auto end =
+      sorted_.begin() + offsets_[static_cast<size_t>(u) + 1];
+  const auto it = std::lower_bound(
+      begin, end, v, [](const SortedLink& a, VertexId b) {
+        return a.neighbor < b;
+      });
+  if (it == end || it->neighbor != v) return -1;
+  return it->local;
+}
+
+}  // namespace lightnet::congest

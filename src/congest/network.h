@@ -5,7 +5,18 @@
 // explicitly which graph is the *communication* topology (the paper's §5
 // makes exactly this distinction: the cluster graph G_i is simulated on the
 // physical network G).
+//
+// The Network additionally owns the send-resolution index the scheduler's
+// hot path relies on:
+//  - a per-link directed-slot table (`dir_slot`): for link i out of u, the
+//    index 2*edge + direction into the scheduler's edge-load array, O(1);
+//  - a per-node neighbor-sorted sidecar (`link_index`): resolves a
+//    (u, neighbor) pair to u's local link index in O(log deg(u)), replacing
+//    the O(deg(u)) linear scan of WeightedGraph::find_edge.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 
@@ -13,7 +24,7 @@ namespace lightnet::congest {
 
 class Network {
  public:
-  explicit Network(const WeightedGraph& g) : graph_(&g) {}
+  explicit Network(const WeightedGraph& g);
 
   const WeightedGraph& graph() const { return *graph_; }
   int num_nodes() const { return graph_->num_vertices(); }
@@ -21,11 +32,35 @@ class Network {
     return graph_->incident(v);
   }
   bool are_neighbors(VertexId u, VertexId v) const {
-    return graph_->find_edge(u, v) != kNoEdge;
+    return link_index(u, v) >= 0;
+  }
+
+  // Local index into links(u) of the link to `v`, or -1 if not adjacent.
+  // O(log deg(u)) via the neighbor-sorted sidecar.
+  int link_index(VertexId u, VertexId v) const;
+
+  // Offset of v's first link in the flat link arrays (CSR base).
+  int link_base(VertexId v) const {
+    return offsets_[static_cast<size_t>(v)];
+  }
+
+  // Directed slot (2*edge + direction) of the flat link position
+  // link_base(u) + i; indexes the scheduler's per-direction edge loads.
+  std::uint32_t dir_slot(int flat_link) const {
+    return dir_slot_[static_cast<size_t>(flat_link)];
   }
 
  private:
+  // Sidecar entry: neighbor id and the local link index it resolves to.
+  struct SortedLink {
+    VertexId neighbor;
+    std::int32_t local;
+  };
+
   const WeightedGraph* graph_;
+  std::vector<int> offsets_;              // CSR offsets, size n+1
+  std::vector<std::uint32_t> dir_slot_;   // size 2m, aligned with CSR links
+  std::vector<SortedLink> sorted_;        // size 2m, per-node neighbor-sorted
 };
 
 }  // namespace lightnet::congest

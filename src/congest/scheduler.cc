@@ -7,7 +7,20 @@
 namespace lightnet::congest {
 
 void NodeContext::send(VertexId neighbor, const Message& msg) {
-  scheduler_->enqueue(self_, neighbor, msg);
+  const int li = network_->link_index(self_, neighbor);
+  LN_ASSERT_MSG(li >= 0, "send target is not a neighbor");
+  const std::uint32_t slot = network_->dir_slot(link_base_ + li);
+  scheduler_->enqueue_resolved(self_, neighbor,
+                               static_cast<EdgeId>(slot >> 1), slot, msg);
+}
+
+void NodeContext::send_on_link(int link_index, const Message& msg) {
+  LN_ASSERT_MSG(
+      link_index >= 0 && static_cast<size_t>(link_index) < links_.size(),
+      "link index out of range");
+  const Incidence& inc = links_[static_cast<size_t>(link_index)];
+  const std::uint32_t slot = network_->dir_slot(link_base_ + link_index);
+  scheduler_->enqueue_resolved(self_, inc.neighbor, inc.edge, slot, msg);
 }
 
 Scheduler::Scheduler(const Network& network,
@@ -17,31 +30,113 @@ Scheduler::Scheduler(const Network& network,
   LN_REQUIRE(static_cast<int>(programs_.size()) == network.num_nodes(),
              "one program per node required");
   const size_t n = programs_.size();
-  current_inbox_.resize(n);
-  next_inbox_.resize(n);
+  inbox_start_.assign(n, 0);
+  inbox_len_.assign(n, 0);
+  recv_count_.assign(n, 0);
+  has_mail_.assign(n, 0);
+  in_active_.assign(n, 0);
   edge_load_.assign(static_cast<size_t>(network.graph().num_edges()) * 2, 0);
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v)
+    if (programs_[static_cast<size_t>(v)]->wants_idle_rounds())
+      idle_riders_.push_back(v);
 }
 
-void Scheduler::enqueue(VertexId from, VertexId to, const Message& msg) {
-  const EdgeId edge = network_->graph().find_edge(from, to);
-  LN_ASSERT_MSG(edge != kNoEdge, "send target is not a neighbor");
+void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
+                                 std::uint32_t dir_slot, const Message& msg) {
   LN_ASSERT_MSG(msg.size <= kMaxWords, "message exceeds word budget");
-  const size_t dir_index = static_cast<size_t>(edge) * 2 +
-                           (network_->graph().edge(edge).u == from ? 0 : 1);
-  if (edge_load_[dir_index] == 0) touched_edges_.push_back(edge);
-  ++edge_load_[dir_index];
+  const size_t base = static_cast<size_t>(edge) * 2;
+  if (edge_load_[base] == 0 && edge_load_[base + 1] == 0)
+    touched_edges_.push_back(edge);
+  ++edge_load_[dir_slot];
   if (options_.strict_congest) {
-    LN_ASSERT_MSG(edge_load_[dir_index] <= 1,
+    LN_ASSERT_MSG(edge_load_[dir_slot] <= 1,
                   "CONGEST violation: >1 message on an edge in one round");
   }
-  next_inbox_[static_cast<size_t>(to)].push_back({from, edge, msg});
+  const size_t to_index = static_cast<size_t>(to);
+  if (!has_mail_[to_index]) {
+    has_mail_[to_index] = 1;
+    mail_nodes_.push_back(to);
+  }
+  ++recv_count_[to_index];
+  if (stage_.size() == stage_.capacity()) ++stats_.inbox_reallocs;
+  stage_.push_back({to, {from, edge, msg}});
   ++in_flight_;
   ++stats_.messages;
   stats_.words += msg.size;
 }
 
+void Scheduler::flush_edge_loads() {
+  for (EdgeId e : touched_edges_) {
+    const size_t base = static_cast<size_t>(e) * 2;
+    const std::uint64_t load =
+        std::max(edge_load_[base], edge_load_[base + 1]);
+    stats_.max_edge_load = std::max(stats_.max_edge_load, load);
+    edge_load_[base] = 0;
+    edge_load_[base + 1] = 0;
+  }
+  touched_edges_.clear();
+}
+
+void Scheduler::deliver_stage() {
+  // Close out the spans consumed last round; inbox_len_ is all-zero outside
+  // the entries of the round's recipients.
+  for (VertexId v : current_mail_) inbox_len_[static_cast<size_t>(v)] = 0;
+  current_mail_.clear();
+
+  // Flip the double buffer: last round's sends become this round's
+  // deliveries, and the (empty, capacity-retaining) spent buffers become the
+  // fill side.
+  std::swap(stage_, deliver_buf_);
+  std::swap(current_mail_, mail_nodes_);
+  for (VertexId v : current_mail_) has_mail_[static_cast<size_t>(v)] = 0;
+
+  const size_t old_capacity = arena_.capacity();
+  arena_.resize(deliver_buf_.size());
+  if (arena_.capacity() != old_capacity) ++stats_.inbox_reallocs;
+
+  // Counting-sort scatter, stable per recipient so inbox order matches send
+  // order (what the sequential full sweep produced).
+  std::uint32_t offset = 0;
+  for (VertexId v : current_mail_) {
+    const size_t vi = static_cast<size_t>(v);
+    inbox_start_[vi] = offset;
+    inbox_len_[vi] = recv_count_[vi];
+    offset += recv_count_[vi];
+    recv_count_[vi] = 0;  // reused as the scatter cursor below
+  }
+  for (const Pending& p : deliver_buf_) {
+    const size_t ti = static_cast<size_t>(p.to);
+    arena_[inbox_start_[ti] + recv_count_[ti]++] = p.delivery;
+  }
+  for (VertexId v : current_mail_) recv_count_[static_cast<size_t>(v)] = 0;
+
+  in_flight_ -= deliver_buf_.size();
+  deliver_buf_.clear();
+}
+
+void Scheduler::build_active_set(int round) {
+  active_.clear();
+  const VertexId n = static_cast<VertexId>(network_->num_nodes());
+  if (options_.full_sweep || round == 0) {
+    for (VertexId v = 0; v < n; ++v) active_.push_back(v);
+    return;
+  }
+  const auto add = [this](VertexId v) {
+    if (!in_active_[static_cast<size_t>(v)]) {
+      in_active_[static_cast<size_t>(v)] = 1;
+      active_.push_back(v);
+    }
+  };
+  for (VertexId v : non_quiescent_) add(v);
+  for (VertexId v : current_mail_) add(v);
+  for (VertexId v : idle_riders_) add(v);
+  // Ascending id keeps send interleaving — and therefore inbox order and
+  // every stat — identical to the full sweep.
+  std::sort(active_.begin(), active_.end());
+  for (VertexId v : active_) in_active_[static_cast<size_t>(v)] = 0;
+}
+
 CostStats Scheduler::run() {
-  const int n = network_->num_nodes();
   NodeContext ctx;
   ctx.network_ = network_;
   ctx.scheduler_ = this;
@@ -51,41 +146,33 @@ CostStats Scheduler::run() {
                   "scheduler round cap exceeded (non-terminating program?)");
     ctx.round_ = round;
 
-    // Reset per-round congestion tracking.
-    for (EdgeId e : touched_edges_) {
-      std::uint64_t load = std::max(edge_load_[static_cast<size_t>(e) * 2],
-                                    edge_load_[static_cast<size_t>(e) * 2 + 1]);
-      stats_.max_edge_load = std::max(stats_.max_edge_load, load);
-      edge_load_[static_cast<size_t>(e) * 2] = 0;
-      edge_load_[static_cast<size_t>(e) * 2 + 1] = 0;
-    }
-    touched_edges_.clear();
+    // Fold the previous round's congestion window into the stats.
+    flush_edge_loads();
 
     // Deliver messages queued last round.
-    std::swap(current_inbox_, next_inbox_);
-    std::uint64_t delivered = 0;
-    for (auto& box : current_inbox_) delivered += box.size();
-    in_flight_ -= delivered;
+    deliver_stage();
 
-    bool all_quiescent = true;
-    for (VertexId v = 0; v < n; ++v) {
+    build_active_set(round);
+    non_quiescent_.clear();
+    for (VertexId v : active_) {
+      const size_t vi = static_cast<size_t>(v);
       ctx.self_ = v;
-      auto& inbox = current_inbox_[static_cast<size_t>(v)];
-      programs_[static_cast<size_t>(v)]->on_round(ctx, inbox);
-      inbox.clear();
-      if (!programs_[static_cast<size_t>(v)]->quiescent())
-        all_quiescent = false;
+      ctx.links_ = network_->links(v);
+      ctx.link_base_ = network_->link_base(v);
+      const std::uint32_t len = inbox_len_[vi];
+      const Delivery* inbox =
+          len != 0 ? arena_.data() + inbox_start_[vi] : nullptr;
+      programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
+      if (!programs_[vi]->quiescent()) non_quiescent_.push_back(v);
     }
 
     stats_.rounds = static_cast<std::uint64_t>(round) + 1;
-    if (all_quiescent && in_flight_ == 0) break;
+    if (non_quiescent_.empty() && in_flight_ == 0) break;
   }
-  // Account the final round's (empty) congestion window.
-  for (EdgeId e : touched_edges_) {
-    std::uint64_t load = std::max(edge_load_[static_cast<size_t>(e) * 2],
-                                  edge_load_[static_cast<size_t>(e) * 2 + 1]);
-    stats_.max_edge_load = std::max(stats_.max_edge_load, load);
-  }
+  // Account the final round's congestion window (no-op unless a program
+  // sent without raising in_flight past the quiescence check — kept for
+  // symmetry and future relaxed modes).
+  flush_edge_loads();
   return stats_;
 }
 

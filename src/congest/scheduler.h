@@ -1,12 +1,29 @@
 // Synchronous round scheduler for the CONGEST model.
 //
 // An algorithm is a NodeProgram instantiated at every vertex. Each round the
-// scheduler delivers the previous round's messages and invokes every node's
-// on_round; outgoing messages appear in neighbors' inboxes next round.
-// Execution ends when every program reports quiescence and no messages are
-// in flight (the simulator plays the role of a termination detector; a real
-// deployment would add an O(D) termination-detection phase, which is
-// dominated by every phase cost in this library).
+// scheduler delivers the previous round's messages and invokes programs;
+// outgoing messages appear in neighbors' inboxes next round. Execution ends
+// when every program reports quiescence and no messages are in flight (the
+// simulator plays the role of a termination detector; a real deployment
+// would add an O(D) termination-detection phase, which is dominated by every
+// phase cost in this library).
+//
+// Hot paths (the three structures that make large-n simulation cheap):
+//  - O(1) send resolution: NodeContext::send_on_link addresses a neighbor by
+//    its local link index, hitting a precomputed (edge, direction) slot
+//    table in Network. NodeContext::send(neighbor, ...) resolves the
+//    neighbor through the Network's sorted sidecar in O(log deg) — never
+//    the O(deg) WeightedGraph::find_edge scan.
+//  - Active-set rounds: only nodes that received mail, reported
+//    non-quiescence after their last invocation, or opted into idle rounds
+//    (wants_idle_rounds) are invoked; a sleeping frontier costs nothing.
+//    Invocation order within a round is ascending vertex id, so executions
+//    are bit-identical to the full sweep (SchedulerOptions::full_sweep
+//    provides the reference behavior for tests and benchmarks).
+//  - Flat message arena: inboxes live in one double-buffered flat Delivery
+//    array, counting-sorted by recipient at delivery time. Steady state
+//    performs zero per-round heap allocations (CostStats::inbox_reallocs
+//    instruments this).
 //
 // Congestion: the scheduler counts messages per (edge, direction) per round.
 // In strict mode, more than one message on a directed edge in a round —
@@ -15,7 +32,6 @@
 // proves it per execution.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -31,11 +47,19 @@ class NodeContext;
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
-  // Called every round with the messages delivered this round.
+  // Called with the messages delivered this round. Under active-set
+  // scheduling a node is only invoked when it has mail, was non-quiescent
+  // after its previous invocation, or wants_idle_rounds() — so quiescent()
+  // must only change state inside on_round (a skipped node's answer is
+  // assumed stable).
   virtual void on_round(NodeContext& ctx, std::span<const Delivery> inbox) = 0;
   // True when the node has no more work to initiate. The run ends when all
   // nodes are quiescent AND no messages are in flight.
   virtual bool quiescent() const = 0;
+  // Opt-in escape hatch for clock-driven programs that must observe every
+  // round even without mail (e.g. timeout counters). Sampled once at
+  // scheduler construction; must be constant for the program's lifetime.
+  virtual bool wants_idle_rounds() const { return false; }
 };
 
 class Scheduler;
@@ -46,15 +70,28 @@ class NodeContext {
   VertexId self() const { return self_; }
   int round() const { return round_; }
   const Network& network() const { return *network_; }
-  std::span<const Incidence> links() const { return network_->links(self_); }
+  std::span<const Incidence> links() const { return links_; }
 
-  // Queues a message to a neighbor for delivery next round.
+  // Queues a message to a neighbor for delivery next round. O(log deg).
   void send(VertexId neighbor, const Message& msg);
+
+  // Fast path: queues a message on links()[link_index]. O(1). Programs that
+  // iterate their links (floods, frontier announcements) should use this.
+  void send_on_link(int link_index, const Message& msg);
+
+  // Local link index for `neighbor`, -1 if not adjacent. O(log deg);
+  // programs sending repeatedly to a fixed neighbor (tree parent/children)
+  // should resolve once and cache.
+  int link_to(VertexId neighbor) const {
+    return network_->link_index(self_, neighbor);
+  }
 
  private:
   friend class Scheduler;
   VertexId self_ = kNoVertex;
   int round_ = 0;
+  int link_base_ = 0;  // flat offset of self's links in the Network index
+  std::span<const Incidence> links_;
   const Network* network_ = nullptr;
   Scheduler* scheduler_ = nullptr;
 };
@@ -65,6 +102,10 @@ struct SchedulerOptions {
   int max_rounds = 1'000'000;
   // Abort if any directed edge carries more than one message in one round.
   bool strict_congest = true;
+  // Invoke every program every round instead of only the active set. The
+  // execution (deliveries, stats) is identical either way; this is the
+  // reference mode tests compare against and benchmarks measure.
+  bool full_sweep = false;
 };
 
 class Scheduler {
@@ -80,13 +121,45 @@ class Scheduler {
 
  private:
   friend class NodeContext;
-  void enqueue(VertexId from, VertexId to, const Message& msg);
+
+  // Staged outgoing message: recipient plus the Delivery it will see.
+  struct Pending {
+    VertexId to;
+    Delivery delivery;
+  };
+
+  void enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
+                        std::uint32_t dir_slot, const Message& msg);
+  // Folds the per-edge loads of the last send window into max_edge_load and
+  // resets them (single owner of the touched_edges_ bookkeeping).
+  void flush_edge_loads();
+  // Counting-sort scatter of stage_ into the arena; fills inbox_start_/
+  // inbox_len_ for this round's recipients (current_mail_).
+  void deliver_stage();
+  // Composes the sorted list of nodes to invoke this round.
+  void build_active_set(int round);
 
   const Network* network_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   SchedulerOptions options_;
-  std::vector<std::vector<Delivery>> current_inbox_;
-  std::vector<std::vector<Delivery>> next_inbox_;
+
+  // --- message arena (double-buffered flat inboxes) ---
+  std::vector<Pending> stage_;          // sends of the current round
+  std::vector<Pending> deliver_buf_;    // last round's sends being delivered
+  std::vector<Delivery> arena_;         // deliveries grouped by recipient
+  std::vector<std::uint32_t> inbox_start_;  // per-node arena offset
+  std::vector<std::uint32_t> inbox_len_;    // per-node count; 0 unless mail
+  std::vector<std::uint32_t> recv_count_;   // fill-side counts / scatter cursor
+  std::vector<VertexId> mail_nodes_;        // fill-side recipients (unique)
+  std::vector<VertexId> current_mail_;      // recipients being delivered
+  std::vector<std::uint8_t> has_mail_;      // fill-side membership flag
+
+  // --- active-set tracking ---
+  std::vector<VertexId> active_;            // nodes invoked this round
+  std::vector<VertexId> non_quiescent_;     // after their last invocation
+  std::vector<VertexId> idle_riders_;       // wants_idle_rounds programs
+  std::vector<std::uint8_t> in_active_;     // membership flag for active_
+
   std::uint64_t in_flight_ = 0;
   CostStats stats_;
   // Per-round congestion tracking: messages sent on each directed edge.

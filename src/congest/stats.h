@@ -20,6 +20,12 @@ struct CostStats {
   // Max number of messages crossing a single directed edge in one round; 1
   // means the execution was strictly CONGEST-legal round by round.
   std::uint64_t max_edge_load = 0;
+  // Simulator instrumentation (not a model cost): number of buffer-growth
+  // events in the scheduler's message arena (a cold round may count several
+  // as a staging vector grows geometrically). After the arena warms up to
+  // the execution's peak round volume this stays flat — the arena-reuse
+  // tests assert exactly that.
+  std::uint64_t inbox_reallocs = 0;
 
   CostStats& operator+=(const CostStats& o) {
     rounds += o.rounds;
@@ -27,6 +33,7 @@ struct CostStats {
     words += o.words;
     max_edge_load = max_edge_load > o.max_edge_load ? max_edge_load
                                                     : o.max_edge_load;
+    inbox_reallocs += o.inbox_reallocs;
     return *this;
   }
 };

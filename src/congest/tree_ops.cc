@@ -30,9 +30,11 @@ class GatherProgram final : public NodeProgram {
       accept({d.msg.word(0), d.msg.word(1), d.msg.word(2)});
     }
     if (self_ != tree_.root && cursor_ < queue_.size()) {
+      if (parent_link_ < 0)
+        parent_link_ = ctx.link_to(tree_.parent[static_cast<size_t>(self_)]);
       const TreeItem& item = queue_[cursor_++];
-      ctx.send(tree_.parent[static_cast<size_t>(self_)],
-               Message(kTagGather, {item.key, item.a, item.b}));
+      ctx.send_on_link(parent_link_,
+                       Message(kTagGather, {item.key, item.a, item.b}));
     }
   }
 
@@ -56,6 +58,7 @@ class GatherProgram final : public NodeProgram {
   std::vector<TreeItem>& root_sink_;
   std::vector<TreeItem> queue_;
   size_t cursor_ = 0;
+  int parent_link_ = -1;  // resolved lazily, then reused every send
   std::unordered_set<std::uint64_t> seen_keys_;
 };
 
@@ -82,9 +85,14 @@ class BroadcastProgram final : public NodeProgram {
       ++received_counts_[static_cast<size_t>(self_)];
     }
     if (cursor_ < queue_.size()) {
+      if (child_links_.size() != children_.size()) {
+        child_links_.reserve(children_.size());
+        for (VertexId child : children_)
+          child_links_.push_back(ctx.link_to(child));
+      }
       const TreeItem& item = queue_[cursor_++];
       const Message msg(kTagBroadcast, {item.key, item.a, item.b});
-      for (VertexId child : children_) ctx.send(child, msg);
+      for (int link : child_links_) ctx.send_on_link(link, msg);
     }
   }
 
@@ -95,6 +103,7 @@ class BroadcastProgram final : public NodeProgram {
   const BfsTreeResult& tree_;
   const std::vector<VertexId>& children_;
   std::vector<int>& received_counts_;
+  std::vector<int> child_links_;  // resolved lazily, then reused every send
   std::vector<TreeItem> queue_;
   size_t cursor_ = 0;
 };
@@ -134,10 +143,12 @@ class AggregateProgram final : public NodeProgram {
     }
     if (cursor_ < num_keys_ &&
         received_[static_cast<size_t>(cursor_)] == num_children_) {
+      if (parent_link_ < 0)
+        parent_link_ = ctx.link_to(tree_.parent[static_cast<size_t>(self_)]);
       const TreeItem item = finalized(cursor_);
       ++cursor_;
-      ctx.send(tree_.parent[static_cast<size_t>(self_)],
-               Message(kTagAggregate, {item.key, item.a, item.b}));
+      ctx.send_on_link(parent_link_,
+                       Message(kTagAggregate, {item.key, item.a, item.b}));
     }
   }
 
@@ -167,6 +178,7 @@ class AggregateProgram final : public NodeProgram {
   const BfsTreeResult& tree_;
   int num_keys_;
   int num_children_;
+  int parent_link_ = -1;  // resolved lazily, then reused every send
   std::vector<TreeItem>& root_sink_;
   std::vector<TreeItem> best_;
   std::vector<Weight> best_value_;

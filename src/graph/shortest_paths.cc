@@ -26,11 +26,16 @@ MultiSourceResult run_dijkstra(const WeightedGraph& g,
   r.parent_edge.assign(n, kNoEdge);
   r.owner.assign(n, kNoVertex);
 
+  // Reserve for the common case (every vertex settled once plus slack for
+  // re-pushes); avoids the heap's geometric reallocation chain.
+  std::vector<QueueEntry> heap_storage;
+  heap_storage.reserve(n + sources.size());
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
-      pq;
+      pq(std::greater<QueueEntry>{}, std::move(heap_storage));
   for (VertexId s : sources) {
     LN_REQUIRE(s >= 0 && s < g.num_vertices(), "source out of range");
+    if (0.0 > bound) continue;  // degenerate bound: nothing is reachable
     r.dist[static_cast<size_t>(s)] = 0.0;
     r.owner[static_cast<size_t>(s)] = s;
     pq.push({0.0, s});
@@ -38,7 +43,10 @@ MultiSourceResult run_dijkstra(const WeightedGraph& g,
   while (!pq.empty()) {
     auto [d, v] = pq.top();
     pq.pop();
-    if (d > r.dist[static_cast<size_t>(v)]) continue;  // stale entry
+    if (d > r.dist[static_cast<size_t>(v)]) {  // superseded, decrease-key-free
+      ++r.stale_entries;
+      continue;
+    }
     for (const Incidence& inc : g.incident(v)) {
       const Weight nd = d + g.edge(inc.edge).w;
       if (nd > bound) continue;
@@ -59,7 +67,11 @@ MultiSourceResult run_dijkstra(const WeightedGraph& g,
 
 std::vector<VertexId> ShortestPathTree::path_to(VertexId target) const {
   if (dist[static_cast<size_t>(target)] == kInfiniteDistance) return {};
+  size_t hops = 0;
+  for (VertexId v = target; v != kNoVertex; v = parent[static_cast<size_t>(v)])
+    ++hops;
   std::vector<VertexId> path;
+  path.reserve(hops);
   for (VertexId v = target; v != kNoVertex;
        v = parent[static_cast<size_t>(v)])
     path.push_back(v);
@@ -69,7 +81,12 @@ std::vector<VertexId> ShortestPathTree::path_to(VertexId target) const {
 
 std::vector<EdgeId> ShortestPathTree::path_edges_to(VertexId target) const {
   if (dist[static_cast<size_t>(target)] == kInfiniteDistance) return {};
+  size_t hops = 0;
+  for (VertexId v = target; parent[static_cast<size_t>(v)] != kNoVertex;
+       v = parent[static_cast<size_t>(v)])
+    ++hops;
   std::vector<EdgeId> path;
+  path.reserve(hops);
   for (VertexId v = target; parent[static_cast<size_t>(v)] != kNoVertex;
        v = parent[static_cast<size_t>(v)])
     path.push_back(parent_edge[static_cast<size_t>(v)]);

@@ -45,6 +45,9 @@ struct MultiSourceResult {
   std::vector<VertexId> parent;
   std::vector<EdgeId> parent_edge;
   std::vector<VertexId> owner;
+  // Heap entries popped after being superseded by a better relaxation — the
+  // price of the decrease-key-free heap, exposed for benchmarking.
+  std::uint64_t stale_entries = 0;
 };
 MultiSourceResult multi_source_dijkstra(const WeightedGraph& g,
                                         std::span<const VertexId> sources);

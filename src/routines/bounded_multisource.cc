@@ -60,7 +60,8 @@ class BoundedProgram final : public NodeProgram {
       const Message msg(kTagBounded,
                         {static_cast<std::uint64_t>(source),
                          Message::encode_weight(e.dist)});
-      for (const Incidence& inc : ctx.links()) ctx.send(inc.neighbor, msg);
+      const int degree = static_cast<int>(ctx.links().size());
+      for (int i = 0; i < degree; ++i) ctx.send_on_link(i, msg);
     }
   }
 
