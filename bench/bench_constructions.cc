@@ -1,0 +1,97 @@
+// Construction × topology benchmark over the registry.
+//
+// Unlike the bench_* microbenchmarks (google-benchmark binaries), this is a
+// standalone driver: it runs every registered construction on every
+// topology in the sweep below, measures wall-clock per run, and writes one
+// JSON document — BENCH_constructions.json — combining wall time with the
+// CONGEST costs (rounds/messages from the per-phase RoundLedger). The file
+// is committed at the repo root as the cross-PR trajectory for whole-
+// construction performance, next to BENCH_scheduler.json for the raw
+// simulator.
+//
+//   ./bench_constructions [output.json] [n]
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/scenario.h"
+
+using namespace lightnet;
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_constructions.json";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 96;
+
+  // Four regimes: sparse general (er), doubling (geo), lightness-
+  // adversarial (ring), large hop-diameter (grid).
+  const std::vector<std::string> topologies = {"er", "geo", "ring", "grid"};
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\"benchmark\":\"constructions\",\"n\":%d,\"runs\":[\n",
+               n);
+  bool first = true;
+  for (const std::string& family : topologies) {
+    api::ScenarioSpec scenario;
+    scenario.family = family;
+    scenario.n = n;
+    scenario.seed = 1;
+    const WeightedGraph g = api::materialize(scenario);
+    for (const api::Construction* c : api::all_constructions()) {
+      api::RunContext ctx;
+      ctx.seed = 1;
+      const auto start = std::chrono::steady_clock::now();
+      api::Artifact artifact;
+      bool failed = false;
+      std::string error;
+      try {
+        artifact = c->run(g, api::ConstructionParams{}, ctx);
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      }
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      if (!first) std::fprintf(out, ",\n");
+      first = false;
+      if (failed) {
+        std::fprintf(out,
+                     "{\"construction\":\"%s\",\"topology\":\"%s\","
+                     "\"error\":\"%s\"}",
+                     std::string(c->name()).c_str(), family.c_str(),
+                     congest::json_escape(error).c_str());
+        std::fprintf(stderr, "%-20s %-6s FAILED: %s\n",
+                     std::string(c->name()).c_str(), family.c_str(),
+                     error.c_str());
+        continue;
+      }
+      const congest::CostStats& total = artifact.ledger.total();
+      std::fprintf(
+          out,
+          "{\"construction\":\"%s\",\"topology\":\"%s\",\"vertices\":%d,"
+          "\"edges\":%d,\"wall_ms\":%s,\"rounds\":%llu,\"messages\":%llu,"
+          "\"max_edge_load\":%llu,\"output_edges\":%zu,"
+          "\"output_vertices\":%zu}",
+          std::string(c->name()).c_str(), family.c_str(), g.num_vertices(),
+          g.num_edges(), api::json_number(wall_ms).c_str(),
+          static_cast<unsigned long long>(total.rounds),
+          static_cast<unsigned long long>(total.messages),
+          static_cast<unsigned long long>(total.max_edge_load),
+          artifact.edges.size(), artifact.vertices.size());
+      std::fprintf(stderr, "%-20s %-6s %8.1f ms  %10llu rounds\n",
+                   std::string(c->name()).c_str(), family.c_str(), wall_ms,
+                   static_cast<unsigned long long>(total.rounds));
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path);
+  return 0;
+}

@@ -4,59 +4,86 @@
 // tree minimizes each receiver's delay but can cost Θ(n) times the MST in
 // link weight; the MST is the cheapest tree but some receivers wait
 // arbitrarily long. The (α, 1+O(1)/(α-1))-SLT sweeps the whole frontier.
+// Every tree is judged by the one shared report helper: root_stretch is the
+// worst receiver delay, avg_root_stretch the mean, lightness the link cost.
 //
 //   ./examples/multicast_slt [n]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "baseline/kry_slt.h"
-#include "core/slt.h"
-#include "graph/generators.h"
-#include "graph/metrics.h"
+#include "api/registry.h"
+#include "api/report.h"
+#include "api/scenario.h"
 #include "graph/mst.h"
 #include "graph/shortest_paths.h"
 
 using namespace lightnet;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
-  const WeightedGraph g = ring_with_chords(n, n / 2, 25.0, 11);
+  api::ScenarioSpec scenario;
+  scenario.family = "ring";
+  scenario.n = argc > 1 ? std::atoi(argv[1]) : 256;
+  scenario.seed = 11;
+  const WeightedGraph g = api::materialize(scenario);
   const VertexId src = 0;
 
   std::printf("multicast tree frontier on ring+chords, n=%d, source=%d\n\n",
-              n, src);
-  std::printf("%-28s %12s %12s %12s\n", "tree", "max delay", "avg delay",
-              "link cost");
+              scenario.n, src);
 
-  auto report = [&](const char* label, std::span<const EdgeId> tree) {
-    std::printf("%-28s %11.2fx %11.2fx %11.2fx\n", label,
-                root_stretch(g, tree, src), average_root_stretch(g, tree, src),
-                lightness(g, tree));
+  api::MetricTable table;
+  auto add_tree = [&](const std::string& label,
+                      const std::vector<EdgeId>& tree) {
+    api::Artifact artifact;
+    artifact.edges = tree;
+    artifact.diagnostics.emplace_back("root", static_cast<double>(src));
+    table.add_row(label,
+                  api::evaluate_artifact(g, api::ArtifactKind::kTree,
+                                         artifact));
   };
 
-  report("shortest-path tree", shortest_path_tree(g, src).edge_ids());
-  report("MST", kruskal_mst(g));
+  // The two extremes of the tradeoff.
+  add_tree("shortest-path tree", shortest_path_tree(g, src).edge_ids());
+  add_tree("MST", kruskal_mst(g));
+
+  // The registry constructions interpolating between them.
+  api::RunContext ctx;
+  ctx.seed = scenario.seed;
+  const api::Construction* slt = api::find_construction("slt");
   for (double eps : {0.1, 0.25, 0.5, 1.0}) {
-    const SltResult slt = build_slt(g, src, eps);
+    api::ConstructionParams p;
+    p.epsilon = eps;
+    p.root = src;
+    const api::Artifact a = slt->run(g, p, ctx);
     char label[64];
     std::snprintf(label, sizeof(label), "distributed SLT (eps=%.2f)", eps);
-    report(label, slt.tree_edges);
+    table.add_row(label, api::evaluate_artifact(g, slt->kind(), a));
   }
+  const api::Construction* slt_light = api::find_construction("slt_light");
   for (double gamma : {0.1, 0.3}) {
-    const SltResult light = build_slt_light(g, src, gamma);
+    api::ConstructionParams p;
+    p.gamma = gamma;
+    p.root = src;
+    const api::Artifact a = slt_light->run(g, p, ctx);
     char label[64];
     std::snprintf(label, sizeof(label), "SLT via BFN16 (gamma=%.1f)", gamma);
-    report(label, light.tree_edges);
+    table.add_row(label, api::evaluate_artifact(g, slt_light->kind(), a));
   }
+  const api::Construction* kry = api::find_construction("kry_slt");
   for (double alpha : {1.5, 3.0}) {
-    const KrySltResult kry = kry_slt(g, src, alpha);
+    api::ConstructionParams p;
+    p.alpha = alpha;
+    p.root = src;
+    const api::Artifact a = kry->run(g, p, ctx);
     char label[64];
     std::snprintf(label, sizeof(label), "KRY95 sequential (a=%.1f)", alpha);
-    report(label, kry.tree_edges);
+    table.add_row(label, api::evaluate_artifact(g, kry->kind(), a));
   }
 
+  table.print(stdout);
   std::printf(
-      "\n(delays are relative to the shortest-path optimum, cost relative\n"
-      "to the MST; the SLT rows interpolate between the two extremes.)\n");
+      "\n(root_stretch is the worst receiver delay relative to the\n"
+      "shortest-path optimum, lightness the link cost relative to the MST;\n"
+      "the SLT rows interpolate between the two extremes.)\n");
   return 0;
 }

@@ -1,77 +1,57 @@
-// Quickstart: build a weighted graph, run the paper's three constructions,
-// and print their quality metrics next to the theory bounds.
+// Quickstart: build a weighted graph, run the paper's three constructions
+// through the registry, and print their quality metrics next to the theory
+// bounds each construction reports about itself.
 //
 //   ./examples/quickstart [n] [seed]
-#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/light_spanner.h"
-#include "core/nets.h"
-#include "core/slt.h"
-#include "graph/generators.h"
-#include "graph/metrics.h"
+#include "api/registry.h"
+#include "api/report.h"
+#include "api/scenario.h"
 
 using namespace lightnet;
 
 int main(int argc, char** argv) {
-  const int n = argc > 1 ? std::atoi(argv[1]) : 256;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  api::ScenarioSpec scenario;
+  scenario.family = "er";
+  scenario.law = WeightLaw::kHeavyTail;
+  scenario.max_weight = 500.0;
+  scenario.n = argc > 1 ? std::atoi(argv[1]) : 256;
+  scenario.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
-  std::printf("lightnet quickstart: Erdős–Rényi graph, n=%d, seed=%llu\n\n", n,
-              static_cast<unsigned long long>(seed));
-  const WeightedGraph g =
-      erdos_renyi(n, 8.0 / n, WeightLaw::kHeavyTail, 500.0, seed);
-  std::printf("graph: %d vertices, %d edges, hop-diameter %d\n",
+  std::printf("lightnet quickstart: Erdős–Rényi graph, n=%d, seed=%llu\n\n",
+              scenario.n,
+              static_cast<unsigned long long>(scenario.seed));
+  const WeightedGraph g = api::materialize(scenario);
+  std::printf("graph: %d vertices, %d edges, hop-diameter %d\n\n",
               g.num_vertices(), g.num_edges(), g.hop_diameter());
 
-  // --- Theorem 2: light spanner.
-  LightSpannerParams sp;
-  sp.k = 2;
-  sp.epsilon = 0.25;
-  sp.seed = seed;
-  const LightSpannerResult spanner = build_light_spanner(g, sp);
-  std::printf("\n[Theorem 2] (2k-1)(1+eps)-spanner, k=%d eps=%.2f\n", sp.k,
-              sp.epsilon);
-  std::printf("  edges      %zu (graph has %d)\n", spanner.spanner.size(),
-              g.num_edges());
-  std::printf("  stretch    %.3f   (bound %.2f)\n",
-              max_edge_stretch(g, spanner.spanner),
-              (2.0 * sp.k - 1.0) * (1.0 + sp.epsilon));
-  std::printf("  lightness  %.2f   (theory band ~k*n^(1/k) = %.1f)\n",
-              lightness(g, spanner.spanner),
-              sp.k * std::pow(static_cast<double>(n), 1.0 / sp.k));
-  std::printf("  CONGEST    %llu rounds, %llu messages\n",
-              static_cast<unsigned long long>(spanner.ledger.total().rounds),
-              static_cast<unsigned long long>(
-                  spanner.ledger.total().messages));
+  api::ConstructionParams params;
+  params.epsilon = 0.25;
+  params.k = 2;
 
-  // --- Theorem 1: shallow-light tree.
-  const SltResult slt = build_slt(g, 0, 0.25);
-  std::printf("\n[Theorem 1] shallow-light tree, eps=0.25, root=0\n");
-  std::printf("  root stretch  %.3f\n", root_stretch(g, slt.tree_edges, 0));
-  std::printf("  lightness     %.2f   (bound 1+4/eps = %.0f)\n",
-              lightness(g, slt.tree_edges), 1.0 + 4.0 / 0.25);
-  std::printf("  CONGEST       %llu rounds\n",
-              static_cast<unsigned long long>(slt.ledger.total().rounds));
+  api::MetricTable table;
+  for (const char* name : {"light_spanner", "slt", "net"}) {
+    const api::Construction* c = api::find_construction(name);
+    api::RunContext ctx;
+    ctx.seed = scenario.seed;
+    const api::Artifact artifact = c->run(g, params, ctx);
+    table.add_row(std::string(c->name()),
+                  api::evaluate_artifact(g, c->kind(), artifact));
+    const congest::CostStats& cost = artifact.ledger.total();
+    std::printf("[%s] %s\n", std::string(c->name()).c_str(),
+                std::string(c->summary()).c_str());
+    std::printf("  CONGEST: %llu rounds, %llu messages over %zu phases\n",
+                static_cast<unsigned long long>(cost.rounds),
+                static_cast<unsigned long long>(cost.messages),
+                artifact.ledger.phases().size());
+    for (const auto& [key, value] : artifact.diagnostics)
+      if (key.rfind("bound_", 0) == 0)
+        std::printf("  %-24s %.3f\n", key.c_str(), value);
+  }
 
-  // --- Theorem 3: net.
-  NetParams np;
-  np.radius = 2.0;  // the weighted diameter here is ~12
-  np.delta = 0.5;
-  np.seed = seed;
-  const NetResult net = build_net(g, np);
-  const NetCheck check = check_net(g, net.net, 1.5 * np.radius,
-                                   np.radius / 1.5);
-  std::printf("\n[Theorem 3] ((1+d)Delta, Delta/(1+d))-net, Delta=%.2f d=0.5\n",
-              np.radius);
-  std::printf("  net size    %zu of %d vertices, %d iterations\n",
-              net.net.size(), n, net.iterations);
-  std::printf("  covering    %s (worst cover distance %.3f)\n",
-              check.covering ? "yes" : "NO", check.worst_cover_distance);
-  std::printf("  separated   %s (closest pair %.3f)\n",
-              check.separated ? "yes" : "NO", check.min_pair_distance);
-  std::printf("  CONGEST     %llu rounds\n",
-              static_cast<unsigned long long>(net.ledger.total().rounds));
+  std::printf("\nmeasured quality (exact sequential verifiers):\n");
+  table.print(stdout);
   return 0;
 }

@@ -4,15 +4,19 @@
 // radio link wastes energy; keeping only the MST makes routes circuitous.
 // The (1+eps)-light spanner of Theorem 5 keeps near-straight routes on a
 // near-MST energy budget — the input to TSP-style data-collection tours
-// ([Kle05], [Got15]).
+// ([Kle05], [Got15]). Candidates share the spanner report; the
+// degree columns are the sensor-specific extra.
 //
 //   ./examples/sensor_doubling [n] [eps_denominator]
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "core/doubling_spanner.h"
-#include "graph/generators.h"
+#include "api/registry.h"
+#include "api/report.h"
+#include "api/scenario.h"
 #include "graph/metrics.h"
 #include "graph/mst.h"
 
@@ -21,21 +25,25 @@ using namespace lightnet;
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 96;
   const int inv_eps = argc > 2 ? std::atoi(argv[2]) : 8;
-  const double eps = 1.0 / inv_eps;
 
-  const GeometricGraph sensors = random_geometric(n, 3.0 / std::sqrt(n), 5);
-  const WeightedGraph& g = sensors.graph;
+  api::ScenarioSpec scenario;
+  scenario.family = "geo";
+  scenario.n = n;
+  scenario.seed = 5;
+  scenario.geo_radius = 3.0 / std::sqrt(static_cast<double>(n));
+  const WeightedGraph g = api::materialize(scenario);
   std::printf("sensor field: %d nodes in the unit square, %d radio links\n",
               n, g.num_edges());
   std::printf("estimated doubling dimension: %.1f\n\n",
               estimate_doubling_dimension(g, 3, 1));
 
-  DoublingSpannerParams params;
-  params.epsilon = eps;
-  params.seed = 5;
-  const DoublingSpannerResult spanner = build_doubling_spanner(g, params);
-
-  auto degree_stats = [&](std::span<const EdgeId> edges) {
+  api::MetricTable table;
+  auto add_topology = [&](const std::string& label,
+                          const std::vector<EdgeId>& edges) {
+    api::Artifact artifact;
+    artifact.edges = edges;
+    api::QualityReport report =
+        api::evaluate_artifact(g, api::ArtifactKind::kSpanner, artifact);
     std::vector<int> deg(static_cast<size_t>(n), 0);
     for (EdgeId id : edges) {
       ++deg[static_cast<size_t>(g.edge(id).u)];
@@ -47,41 +55,35 @@ int main(int argc, char** argv) {
       max_deg = std::max(max_deg, d);
       avg += d;
     }
-    return std::pair{avg / n, max_deg};
+    report.metrics.emplace_back("avg_degree", avg / n);
+    report.metrics.emplace_back("max_degree", max_deg);
+    table.add_row(label, report);
   };
 
-  std::printf("%-24s %8s %10s %10s %9s %8s\n", "topology", "links",
-              "avg deg", "max deg", "energy", "stretch");
   std::vector<EdgeId> all(static_cast<size_t>(g.num_edges()));
-  for (EdgeId id = 0; id < g.num_edges(); ++id) all[static_cast<size_t>(id)] =
-      id;
-  auto [avg_all, max_all] = degree_stats(all);
-  std::printf("%-24s %8d %10.1f %10d %8.1fx %8.2f\n", "all radio links",
-              g.num_edges(), avg_all, max_all, lightness(g, all), 1.0);
-  const auto mst = kruskal_mst(g);
-  auto [avg_mst, max_mst] = degree_stats(mst);
-  std::printf("%-24s %8zu %10.1f %10d %8.1fx %8.2f\n", "MST", mst.size(),
-              avg_mst, max_mst, 1.0, max_edge_stretch(g, mst));
-  auto [avg_sp, max_sp] = degree_stats(spanner.spanner);
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    all[static_cast<size_t>(id)] = id;
+  add_topology("all radio links", all);
+  add_topology("MST", kruskal_mst(g));
+
+  const api::Construction* c = api::find_construction("doubling_spanner");
+  api::ConstructionParams params;
+  params.epsilon = 1.0 / inv_eps;
+  api::RunContext ctx;
+  ctx.seed = scenario.seed;
+  const api::Artifact spanner = c->run(g, params, ctx);
   char label[64];
   std::snprintf(label, sizeof(label), "doubling spanner e=1/%d", inv_eps);
-  std::printf("%-24s %8zu %10.1f %10d %8.1fx %8.2f\n", label,
-              spanner.spanner.size(), avg_sp, max_sp,
-              lightness(g, spanner.spanner),
-              max_edge_stretch(g, spanner.spanner));
+  add_topology(label, spanner.edges);
 
-  std::printf("\nper-scale construction (%zu scales):\n",
-              spanner.scales.size());
-  std::printf("  %12s %10s %14s %22s\n", "scale", "net size",
-              "pairs joined", "max sources/vertex");
-  for (size_t i = 0; i < spanner.scales.size();
-       i += std::max<size_t>(1, spanner.scales.size() / 8)) {
-    const ScaleDiagnostics& s = spanner.scales[i];
-    std::printf("  %12.4f %10zu %14zu %22zu\n", s.scale, s.net_size,
-                s.pairs_connected, s.max_sources_per_vertex);
-  }
+  table.print(stdout);
+
+  std::printf("\nper-scale diagnostics: ");
+  for (const auto& [key, value] : spanner.diagnostics)
+    std::printf("%s=%.1f  ", key.c_str(), value);
   std::printf("\nCONGEST cost: %llu rounds, %llu messages\n",
-              static_cast<unsigned long long>(spanner.ledger.total().rounds),
+              static_cast<unsigned long long>(
+                  spanner.ledger.total().rounds),
               static_cast<unsigned long long>(
                   spanner.ledger.total().messages));
   return 0;

@@ -1,0 +1,40 @@
+#include "api/artifact.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lightnet::api {
+
+double diagnostic_or(const Diagnostics& diag, const std::string& key,
+                     double fallback) {
+  for (const auto& [k, v] : diag)
+    if (k == key) return v;
+  return fallback;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15)
+    return std::to_string(static_cast<long long>(v));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string to_json(const Diagnostics& diag) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : diag) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += congest::json_escape(k);
+    out += "\":";
+    out += json_number(v);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace lightnet::api

@@ -1,0 +1,48 @@
+// Artifact: the common result type of every registered construction.
+//
+// The core algorithms each return a bespoke result struct (SltResult,
+// LightSpannerResult, ...) whose extra fields are per-algorithm
+// diagnostics. The registry adapts them all onto this one shape so drivers,
+// benches, and examples can treat "run a construction" uniformly:
+//   - edges:     the constructed subgraph as edge ids into the input graph
+//                (tree and spanner kinds; empty for vertex-set outputs),
+//   - vertices:  the constructed vertex set (net kind; empty otherwise),
+//   - ledger:    the full per-phase CONGEST cost breakdown,
+//   - diagnostics: ordered key/value pairs — the per-algorithm counters and
+//                the theory bounds the run should be judged against
+//                (keys prefixed "bound_").
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "congest/stats.h"
+#include "graph/graph.h"
+
+namespace lightnet::api {
+
+// Ordered so reports and JSON records are deterministic and read in the
+// order the algorithm's documentation introduces the quantities.
+using Diagnostics = std::vector<std::pair<std::string, double>>;
+
+struct Artifact {
+  std::vector<EdgeId> edges;
+  std::vector<VertexId> vertices;
+  congest::RoundLedger ledger;
+  Diagnostics diagnostics;
+};
+
+// Looks up `key`; returns `fallback` when absent.
+double diagnostic_or(const Diagnostics& diag, const std::string& key,
+                     double fallback);
+
+// {"key":value,...} with numbers rendered compactly (integral values without
+// a trailing ".0"); NaN/inf become null, since JSON has no literal for them.
+std::string to_json(const Diagnostics& diag);
+
+// The number formatting used by to_json, shared by every JSON emitter in
+// this layer.
+std::string json_number(double v);
+
+}  // namespace lightnet::api

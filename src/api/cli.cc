@@ -1,0 +1,266 @@
+#include "api/cli.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <string_view>
+
+#include "api/report.h"
+#include "api/scenario.h"
+#include "support/assert.h"
+
+namespace lightnet::api {
+
+namespace {
+
+struct ParsedSpec {
+  std::vector<const Construction*> constructions;
+  std::vector<std::string> topologies;
+  std::vector<int> ns;
+  std::vector<std::uint64_t> seeds;
+  std::vector<WeightLaw> laws;
+  ConstructionParams params;
+  ScenarioSpec scenario;  // knob template; family/law/n/seed set per run
+  bool full_sweep = false;
+  bool quality = true;
+  bool list_only = false;
+};
+
+std::vector<std::string> split_csv(std::string_view value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const size_t end = comma == std::string_view::npos ? value.size() : comma;
+    if (end > start) out.emplace_back(value.substr(start, end - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
+                std::FILE* err) {
+  for (const std::string& arg : args) {
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      if (arg == "list") {
+        spec.list_only = true;
+        continue;
+      }
+      std::fprintf(err, "lightnet_cli: expected key=value, got '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "construction") {
+      if (value == "all") {
+        spec.constructions = all_constructions();
+      } else {
+        for (const std::string& name : split_csv(value)) {
+          const Construction* c = find_construction(name);
+          if (c == nullptr) {
+            std::fprintf(err, "lightnet_cli: unknown construction '%s'\n",
+                         name.c_str());
+            return false;
+          }
+          spec.constructions.push_back(c);
+        }
+      }
+    } else if (key == "topology") {
+      if (value == "all") {
+        spec.topologies = scenario_families();
+      } else {
+        for (const std::string& family : split_csv(value)) {
+          bool known = false;
+          for (const std::string& f : scenario_families())
+            known = known || f == family;
+          if (!known) {
+            std::fprintf(err, "lightnet_cli: unknown topology '%s'\n",
+                         family.c_str());
+            return false;
+          }
+          spec.topologies.push_back(family);
+        }
+      }
+    } else if (key == "n") {
+      for (const std::string& v : split_csv(value))
+        spec.ns.push_back(std::atoi(v.c_str()));
+    } else if (key == "seed") {
+      for (const std::string& v : split_csv(value))
+        spec.seeds.push_back(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (key == "law") {
+      for (const std::string& v : split_csv(value)) {
+        WeightLaw law;
+        if (!parse_weight_law(v, &law)) {
+          std::fprintf(err, "lightnet_cli: unknown weight law '%s'\n",
+                       v.c_str());
+          return false;
+        }
+        spec.laws.push_back(law);
+      }
+    } else if (key == "eps") {
+      spec.params.epsilon = std::atof(value.c_str());
+    } else if (key == "gamma") {
+      spec.params.gamma = std::atof(value.c_str());
+    } else if (key == "alpha") {
+      spec.params.alpha = std::atof(value.c_str());
+    } else if (key == "k") {
+      spec.params.k = std::atoi(value.c_str());
+    } else if (key == "radius") {
+      spec.params.radius = std::atof(value.c_str());
+    } else if (key == "delta") {
+      spec.params.delta = std::atof(value.c_str());
+    } else if (key == "root") {
+      spec.params.root = std::atoi(value.c_str());
+    } else if (key == "hopset") {
+      spec.params.use_hopset = value != "0";
+    } else if (key == "max_weight") {
+      spec.scenario.max_weight = std::atof(value.c_str());
+    } else if (key == "avg_degree") {
+      spec.scenario.avg_degree = std::atof(value.c_str());
+    } else if (key == "geo_radius") {
+      spec.scenario.geo_radius = std::atof(value.c_str());
+    } else if (key == "chord_weight") {
+      spec.scenario.chord_weight = std::atof(value.c_str());
+    } else if (key == "full_sweep") {
+      spec.full_sweep = value != "0";
+    } else if (key == "quality") {
+      spec.quality = value != "0";
+    } else {
+      std::fprintf(err, "lightnet_cli: unknown key '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  if (spec.constructions.empty()) spec.constructions = all_constructions();
+  if (spec.topologies.empty()) spec.topologies = {"er"};
+  if (spec.ns.empty()) spec.ns = {64};
+  if (spec.seeds.empty()) spec.seeds = {1};
+  if (spec.laws.empty()) spec.laws = {WeightLaw::kUniform};
+  return true;
+}
+
+std::string params_json(const ConstructionParams& p) {
+  std::string out = "{";
+  out += "\"eps\":" + json_number(p.epsilon);
+  out += ",\"gamma\":" + json_number(p.gamma);
+  out += ",\"alpha\":" + json_number(p.alpha);
+  out += ",\"k\":" + std::to_string(p.k);
+  out += ",\"radius\":" + json_number(p.radius);
+  out += ",\"delta\":" + json_number(p.delta);
+  out += ",\"root\":" + std::to_string(p.root);
+  out += ",\"hopset\":" + std::string(p.use_hopset ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::FILE* out,
+            std::FILE* err) {
+  ParsedSpec spec;
+  if (!parse_spec(args, spec, err)) return 1;
+
+  if (spec.list_only) {
+    std::fprintf(out, "constructions:\n");
+    for (const Construction* c : all_constructions())
+      std::fprintf(out, "  %-20s [%s] %s\n",
+                   std::string(c->name()).c_str(), kind_name(c->kind()),
+                   std::string(c->summary()).c_str());
+    std::fprintf(out, "topologies:\n");
+    for (const std::string& f : scenario_families())
+      std::fprintf(out, "  %s\n", f.c_str());
+    return 0;
+  }
+
+  for (const std::string& family : spec.topologies) {
+    // Families whose generator ignores WeightLaw run once, not once per
+    // law — a law sweep over them would emit bit-identical records falsely
+    // labeled with laws that had no effect.
+    const bool law_matters = family_uses_weight_law(family);
+    const size_t law_count = law_matters ? spec.laws.size() : 1;
+    for (size_t law_index = 0; law_index < law_count; ++law_index) {
+      const WeightLaw law = spec.laws[law_index];
+      for (const int n : spec.ns) {
+        for (const std::uint64_t seed : spec.seeds) {
+          ScenarioSpec scenario = spec.scenario;
+          scenario.family = family;
+          scenario.law = law;
+          scenario.n = n;
+          scenario.seed = seed;
+          WeightedGraph g;
+          try {
+            g = materialize(scenario);
+          } catch (const std::exception& e) {
+            // A bad scenario (n too small, degenerate knobs) must not kill
+            // the sweep; record it and move to the next combination.
+            std::fprintf(
+                out,
+                "{\"topology\":\"%s\",\"n\":%d,\"seed\":%llu,"
+                "\"error\":\"%s\"}\n",
+                family.c_str(), n, static_cast<unsigned long long>(seed),
+                congest::json_escape(e.what()).c_str());
+            continue;
+          }
+          const int hop_diameter = g.hop_diameter();
+          for (const Construction* c : spec.constructions) {
+            RunContext ctx;
+            ctx.seed = seed;
+            ctx.sched.full_sweep = spec.full_sweep;
+            const auto start = std::chrono::steady_clock::now();
+            Artifact artifact;
+            try {
+              artifact = c->run(g, spec.params, ctx);
+            } catch (const std::exception& e) {
+              // A construction failing on one scenario must not kill the
+              // sweep; record the failure as a JSON line and move on.
+              std::fprintf(
+                  out,
+                  "{\"construction\":\"%s\",\"topology\":\"%s\",\"n\":%d,"
+                  "\"seed\":%llu,\"error\":\"%s\"}\n",
+                  std::string(c->name()).c_str(), family.c_str(), n,
+                  static_cast<unsigned long long>(seed),
+                  congest::json_escape(e.what()).c_str());
+              continue;
+            }
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+
+            std::string line = "{\"construction\":\"";
+            line += std::string(c->name()) + "\"";
+            line += ",\"kind\":\"" + std::string(kind_name(c->kind())) + "\"";
+            line += ",\"topology\":\"" + family + "\"";
+            line += ",\"law\":\"" +
+                    std::string(law_matters ? law_name(law) : "n/a") + "\"";
+            line += ",\"n\":" + std::to_string(n);
+            line += ",\"seed\":" + std::to_string(seed);
+            line += ",\"full_sweep\":" +
+                    std::string(spec.full_sweep ? "true" : "false");
+            line += ",\"params\":" + params_json(spec.params);
+            line += ",\"graph\":{\"vertices\":" +
+                    std::to_string(g.num_vertices()) +
+                    ",\"edges\":" + std::to_string(g.num_edges()) +
+                    ",\"hop_diameter\":" + std::to_string(hop_diameter) + "}";
+            line += ",\"wall_ms\":" + json_number(wall_ms);
+            if (spec.quality) {
+              const QualityReport report =
+                  evaluate_artifact(g, c->kind(), artifact);
+              line += ",\"metrics\":" + to_json(report);
+            }
+            line += ",\"diagnostics\":" + to_json(artifact.diagnostics);
+            line += ",\"cost\":" + congest::to_json(artifact.ledger);
+            line += "}\n";
+            std::fputs(line.c_str(), out);
+            std::fflush(out);
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace lightnet::api

@@ -1,0 +1,41 @@
+// The lightnet_cli driver: spec-string parsing and the sweep loop.
+//
+// A spec is a list of key=value tokens; list-valued keys take comma-
+// separated values (or "all") and the driver runs the full cross product:
+//
+//   lightnet_cli construction=slt,light_spanner topology=er,grid
+//                n=64,128 seed=1,2 law=uniform eps=0.25 k=2
+//
+// Keys:
+//   construction  registry names or "all"            (default all)
+//   topology      scenario families or "all"         (default er)
+//   n             vertex counts                      (default 64)
+//   seed          seeds                              (default 1)
+//   law           unit|uniform|heavy_tail|exp_scales (default uniform)
+//   eps gamma alpha k radius delta root hopset       ConstructionParams
+//   max_weight avg_degree geo_radius chord_weight    ScenarioSpec knobs
+//   full_sweep    0|1: scheduler reference mode      (default 0)
+//   quality       0|1: exact quality metrics         (default 1)
+//   list          print registered constructions and families, then exit
+//
+// Each run emits one JSON line to `out`:
+//   {"construction":..,"kind":..,"topology":..,"law":..,"n":..,"seed":..,
+//    "params":{...},"graph":{"vertices":..,"edges":..,"hop_diameter":..},
+//    "wall_ms":..,"metrics":{...},"diagnostics":{...},"cost":{per-phase
+//    RoundLedger}}
+//
+// The parsing/sweep core is a library function so tests can drive it
+// in-process; tools/lightnet_cli.cc is the thin main().
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lightnet::api {
+
+// Returns 0 on success, 1 on a spec error (message on `err`).
+int run_cli(const std::vector<std::string>& args, std::FILE* out,
+            std::FILE* err);
+
+}  // namespace lightnet::api

@@ -1,0 +1,128 @@
+#include "api/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/metrics.h"
+
+namespace lightnet::api {
+
+namespace {
+
+void add(QualityReport& r, const char* name, double value) {
+  r.metrics.emplace_back(name, value);
+}
+
+}  // namespace
+
+double QualityReport::value_or(const std::string& name,
+                               double fallback) const {
+  for (const auto& [k, v] : metrics)
+    if (k == name) return v;
+  return fallback;
+}
+
+QualityReport evaluate_artifact(const WeightedGraph& g, ArtifactKind kind,
+                                const Artifact& artifact) {
+  QualityReport r;
+  switch (kind) {
+    case ArtifactKind::kTree: {
+      const VertexId root = static_cast<VertexId>(
+          diagnostic_or(artifact.diagnostics, "root", 0.0));
+      add(r, "edges", static_cast<double>(artifact.edges.size()));
+      add(r, "root_stretch", root_stretch(g, artifact.edges, root));
+      add(r, "avg_root_stretch",
+          average_root_stretch(g, artifact.edges, root));
+      add(r, "lightness", lightness(g, artifact.edges));
+      break;
+    }
+    case ArtifactKind::kSpanner: {
+      add(r, "edges", static_cast<double>(artifact.edges.size()));
+      add(r, "stretch", max_edge_stretch(g, artifact.edges));
+      add(r, "lightness", lightness(g, artifact.edges));
+      break;
+    }
+    case ArtifactKind::kNet: {
+      // The adapter records which (α, β) certificate its net promises.
+      const double alpha =
+          diagnostic_or(artifact.diagnostics, "net_alpha", 1.0);
+      const double beta =
+          diagnostic_or(artifact.diagnostics, "net_beta", 1.0);
+      const NetCheck check = check_net(g, artifact.vertices, alpha, beta);
+      add(r, "net_size", static_cast<double>(artifact.vertices.size()));
+      add(r, "covering", check.covering ? 1.0 : 0.0);
+      add(r, "separated", check.separated ? 1.0 : 0.0);
+      add(r, "worst_cover_distance", check.worst_cover_distance);
+      add(r, "min_pair_distance", check.min_pair_distance);
+      break;
+    }
+    case ArtifactKind::kEstimate: {
+      add(r, "ratio", diagnostic_or(artifact.diagnostics, "ratio",
+                                    std::numeric_limits<double>::quiet_NaN()));
+      add(r, "psi", diagnostic_or(artifact.diagnostics, "psi",
+                                  std::numeric_limits<double>::quiet_NaN()));
+      add(r, "exact_mst_weight",
+          diagnostic_or(artifact.diagnostics, "exact_mst_weight",
+                        std::numeric_limits<double>::quiet_NaN()));
+      break;
+    }
+  }
+  return r;
+}
+
+std::string to_json(const QualityReport& report) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : report.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += '"';
+    out += congest::json_escape(k);
+    out += "\":";
+    out += json_number(v);
+  }
+  out += "}";
+  return out;
+}
+
+void MetricTable::add_row(std::string label, const QualityReport& report) {
+  std::vector<double> cells(columns_.size(),
+                            std::numeric_limits<double>::quiet_NaN());
+  for (const auto& [name, value] : report.metrics) {
+    size_t col = 0;
+    while (col < columns_.size() && columns_[col] != name) ++col;
+    if (col == columns_.size()) {
+      columns_.push_back(name);
+      for (auto& [_, row] : rows_)
+        row.push_back(std::numeric_limits<double>::quiet_NaN());
+      cells.push_back(value);
+    } else {
+      cells[col] = value;
+    }
+  }
+  rows_.emplace_back(std::move(label), std::move(cells));
+}
+
+void MetricTable::print(std::FILE* out) const {
+  std::fprintf(out, "%-28s", "");
+  for (const std::string& col : columns_)
+    std::fprintf(out, " %*s", static_cast<int>(std::max<size_t>(col.size(),
+                                                                10)),
+                 col.c_str());
+  std::fprintf(out, "\n");
+  for (const auto& [label, cells] : rows_) {
+    std::fprintf(out, "%-28s", label.c_str());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const int width =
+          static_cast<int>(std::max<size_t>(columns_[i].size(), 10));
+      if (i < cells.size() && !std::isnan(cells[i]))
+        std::fprintf(out, " %*.3f", width, cells[i]);
+      else
+        std::fprintf(out, " %*s", width, "-");
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+}  // namespace lightnet::api

@@ -1,0 +1,59 @@
+// RunContext: the uniform execution environment of a construction.
+//
+// Before this layer every core entry point had its own seed field and no way
+// to pin the scheduler mode; sweeping constructions × topologies meant
+// re-plumbing both for each algorithm. A RunContext bundles the three knobs
+// every run shares:
+//   - seed:  the root of all randomness (per-phase streams are derived by
+//     tag-XOR, see support/rng.h), making a run a pure function of
+//     (graph, params, seed);
+//   - sched: congest::SchedulerOptions threaded into every kernel execution,
+//     so full_sweep / strict_congest / max_rounds apply to the whole
+//     construction, not just the layers that happened to expose them;
+//   - ledger_sink: an optional RoundLedger that receives the construction's
+//     full per-phase breakdown under a prefix, letting a driver accumulate
+//     one ledger across a multi-construction pipeline.
+//
+// Core entry points take `const RunContext&` overloads; the legacy
+// signatures remain as thin wrappers that build a RunContext from their old
+// parameters (e.g. LightSpannerParams::seed). In a RunContext overload the
+// context's seed is authoritative.
+#pragma once
+
+#include <cstdint>
+
+#include "congest/scheduler.h"
+#include "congest/stats.h"
+
+namespace lightnet::api {
+
+struct RunContext {
+  std::uint64_t seed = 1;
+  congest::SchedulerOptions sched;
+  congest::RoundLedger* ledger_sink = nullptr;
+
+  // Derived context for a sub-construction: same scheduler mode, a stream
+  // seed split off by tag, and no sink (the parent absorbs the child's
+  // ledger itself, so a shared sink would double-count the child's phases).
+  RunContext child(std::uint64_t tag) const {
+    RunContext c;
+    c.seed = seed ^ tag;
+    c.sched = sched;
+    return c;
+  }
+
+  RunContext with_seed(std::uint64_t s) const {
+    RunContext c = *this;
+    c.seed = s;
+    return c;
+  }
+};
+
+// Deposits `ledger` into ctx.ledger_sink under `prefix` if a sink is
+// attached; every core entry point calls this once on its result ledger.
+inline void deposit(const RunContext& ctx, const congest::RoundLedger& ledger,
+                    const std::string& prefix) {
+  if (ctx.ledger_sink != nullptr) ctx.ledger_sink->absorb(ledger, prefix);
+}
+
+}  // namespace lightnet::api

@@ -1,0 +1,83 @@
+#include "api/scenario.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace lightnet::api {
+
+const std::vector<std::string>& scenario_families() {
+  static const std::vector<std::string> families = {
+      "er",   "geo",  "ring", "grid",  "tree",
+      "path", "star", "lower_bound", "clique",
+  };
+  return families;
+}
+
+WeightedGraph materialize(const ScenarioSpec& spec) {
+  LN_REQUIRE(spec.n >= 2, "scenario needs at least 2 vertices");
+  const int n = spec.n;
+  if (spec.family == "er") {
+    const double p = std::min(1.0, spec.avg_degree / n);
+    return erdos_renyi(n, p, spec.law, spec.max_weight, spec.seed);
+  }
+  if (spec.family == "geo") {
+    const double radius = spec.geo_radius > 0.0
+                              ? spec.geo_radius
+                              : std::sqrt(10.0 / static_cast<double>(n));
+    return random_geometric(n, radius, spec.seed).graph;
+  }
+  if (spec.family == "ring") {
+    const int chords = spec.num_chords >= 0 ? spec.num_chords : n / 2;
+    return ring_with_chords(n, chords, spec.chord_weight, spec.seed);
+  }
+  if (spec.family == "grid") {
+    const int side = std::max(
+        2, static_cast<int>(std::sqrt(static_cast<double>(n))));
+    return grid(side, side, spec.perturb, spec.seed);
+  }
+  if (spec.family == "tree")
+    return random_tree(n, spec.law, spec.max_weight, spec.seed);
+  if (spec.family == "path")
+    return path_graph(n, spec.law, spec.max_weight, spec.seed);
+  if (spec.family == "star")
+    return star_graph(n, spec.law, spec.max_weight, spec.seed);
+  if (spec.family == "lower_bound") {
+    const int side = std::max(
+        2, static_cast<int>(std::sqrt(static_cast<double>(n))));
+    return lower_bound_family(side, side, spec.max_weight, spec.seed);
+  }
+  if (spec.family == "clique") return complete_euclidean(n, spec.seed).graph;
+  LN_REQUIRE(false, "unknown scenario family");
+  return WeightedGraph{};
+}
+
+bool family_uses_weight_law(std::string_view family) {
+  return family == "er" || family == "tree" || family == "path" ||
+         family == "star";
+}
+
+const char* law_name(WeightLaw law) {
+  switch (law) {
+    case WeightLaw::kUnit:
+      return "unit";
+    case WeightLaw::kUniform:
+      return "uniform";
+    case WeightLaw::kHeavyTail:
+      return "heavy_tail";
+    case WeightLaw::kExponentialScales:
+      return "exp_scales";
+  }
+  return "unknown";
+}
+
+bool parse_weight_law(std::string_view name, WeightLaw* out) {
+  if (name == "unit") *out = WeightLaw::kUnit;
+  else if (name == "uniform") *out = WeightLaw::kUniform;
+  else if (name == "heavy_tail") *out = WeightLaw::kHeavyTail;
+  else if (name == "exp_scales") *out = WeightLaw::kExponentialScales;
+  else return false;
+  return true;
+}
+
+}  // namespace lightnet::api

@@ -1,0 +1,53 @@
+// ScenarioSpec: a named, seeded workload — generator family × WeightLaw ×
+// n × seed — materialized through graph/generators.
+//
+// The driver sweeps ScenarioSpecs the same way it sweeps constructions; a
+// spec is a pure value, so a sweep record (family, law, n, seed, knobs)
+// reproduces its graph exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace lightnet::api {
+
+struct ScenarioSpec {
+  // One of scenario_families(): er, geo, ring, grid, tree, path, star,
+  // lower_bound, clique.
+  std::string family = "er";
+  WeightLaw law = WeightLaw::kUniform;
+  int n = 256;
+  std::uint64_t seed = 1;
+
+  // Family-specific knobs (defaults chosen so every family yields a
+  // connected, structurally interesting instance at any n):
+  double max_weight = 100.0;   // weight-law cap (er/tree/path/star)
+  double avg_degree = 8.0;     // er: p = avg_degree/n
+  double geo_radius = 0.0;     // geo: 0 = auto sqrt(10/n)
+  int num_chords = -1;         // ring: -1 = n/2
+  double chord_weight = 25.0;  // ring
+  bool perturb = true;         // grid: perturb weights to keep the MST unique
+};
+
+// The generator families the spec understands, in stable order.
+const std::vector<std::string>& scenario_families();
+
+// True for families whose generator consumes ScenarioSpec::law (er, tree,
+// path, star); the geometric/structural families derive weights from
+// coordinates or fixed rules and ignore it. Sweep drivers use this to
+// avoid emitting duplicate runs falsely labeled with inert laws.
+bool family_uses_weight_law(std::string_view family);
+
+// Builds the graph. Fails (LN_REQUIRE) on an unknown family or n < 2.
+WeightedGraph materialize(const ScenarioSpec& spec);
+
+// Weight-law name round-trip: "unit", "uniform", "heavy_tail", "exp_scales".
+const char* law_name(WeightLaw law);
+bool parse_weight_law(std::string_view name, WeightLaw* out);
+
+}  // namespace lightnet::api

@@ -1,0 +1,66 @@
+#include "congest/stats.h"
+
+namespace lightnet::congest {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const CostStats& cost) {
+  std::string out = "{\"rounds\":" + std::to_string(cost.rounds);
+  out += ",\"messages\":" + std::to_string(cost.messages);
+  out += ",\"words\":" + std::to_string(cost.words);
+  out += ",\"max_edge_load\":" + std::to_string(cost.max_edge_load);
+  out += "}";
+  return out;
+}
+
+std::string to_json(const RoundLedger& ledger) {
+  std::string out = "{\"total\":" + to_json(ledger.total());
+  out += ",\"phases\":[";
+  bool first = true;
+  for (const auto& [name, cost] : ledger.phases()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(name) + "\"";
+    // Splice the cost fields into the phase object so each phase row is
+    // flat — easier to load into dataframes than a nested "cost" object.
+    std::string cost_json = to_json(cost);
+    out += ",";
+    out += cost_json.substr(1);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace lightnet::congest

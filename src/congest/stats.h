@@ -13,6 +13,11 @@
 
 namespace lightnet::congest {
 
+// Minimal JSON string escaping (quotes, backslashes, control characters);
+// phase names are ASCII identifiers today, but the emitters below must never
+// produce invalid JSON regardless of what a caller names a phase.
+std::string json_escape(const std::string& s);
+
 struct CostStats {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
@@ -37,6 +42,11 @@ struct CostStats {
     return *this;
   }
 };
+
+// {"rounds":..,"messages":..,"words":..,"max_edge_load":..} — the model
+// costs only; inbox_reallocs is simulator instrumentation and stays out of
+// the experiment records.
+std::string to_json(const CostStats& cost);
 
 // Named phase costs; `total()` is what benches report, the per-phase
 // breakdown is what EXPERIMENTS.md tables show.
@@ -78,5 +88,10 @@ class RoundLedger {
   std::vector<std::pair<std::string, CostStats>> phases_;
   CostStats total_;
 };
+
+// {"total":{...},"phases":[{"name":...,"rounds":...,...},...]} — the full
+// per-phase breakdown, shared by the lightnet_cli JSON-lines emitter and the
+// construction bench.
+std::string to_json(const RoundLedger& ledger);
 
 }  // namespace lightnet::congest

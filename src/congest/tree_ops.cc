@@ -199,7 +199,7 @@ std::vector<std::vector<VertexId>> bfs_children(const BfsTreeResult& tree) {
 
 GatherResult gather_to_root(const WeightedGraph& g, const BfsTreeResult& tree,
                             const std::vector<std::vector<TreeItem>>& items,
-                            bool dedupe_by_key) {
+                            bool dedupe_by_key, SchedulerOptions sched) {
   LN_REQUIRE(static_cast<int>(items.size()) == g.num_vertices(),
              "one item list per vertex required");
   GatherResult result;
@@ -209,14 +209,15 @@ GatherResult gather_to_root(const WeightedGraph& g, const BfsTreeResult& tree,
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(std::make_unique<GatherProgram>(
         v, tree, items[static_cast<size_t>(v)], dedupe_by_key, result.items));
-  Scheduler scheduler(net, std::move(programs));
+  Scheduler scheduler(net, std::move(programs), sched);
   result.cost = scheduler.run();
   return result;
 }
 
 BroadcastResult broadcast_from_root(const WeightedGraph& g,
                                     const BfsTreeResult& tree,
-                                    const std::vector<TreeItem>& items) {
+                                    const std::vector<TreeItem>& items,
+                                    SchedulerOptions sched) {
   BroadcastResult result;
   const auto children = bfs_children(tree);
   std::vector<int> received(static_cast<size_t>(g.num_vertices()), 0);
@@ -226,7 +227,7 @@ BroadcastResult broadcast_from_root(const WeightedGraph& g,
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(std::make_unique<BroadcastProgram>(
         v, tree, children, items, received));
-  Scheduler scheduler(net, std::move(programs));
+  Scheduler scheduler(net, std::move(programs), sched);
   result.cost = scheduler.run();
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (v == tree.root) continue;
@@ -239,7 +240,8 @@ BroadcastResult broadcast_from_root(const WeightedGraph& g,
 
 KeyedAggregateResult keyed_max_aggregate(
     const WeightedGraph& g, const BfsTreeResult& tree, int num_keys,
-    const std::vector<std::vector<TreeItem>>& contributions) {
+    const std::vector<std::vector<TreeItem>>& contributions,
+    SchedulerOptions sched) {
   LN_REQUIRE(static_cast<int>(contributions.size()) == g.num_vertices(),
              "one contribution list per vertex required");
   KeyedAggregateResult result;
@@ -252,7 +254,7 @@ KeyedAggregateResult keyed_max_aggregate(
         v, tree, num_keys,
         static_cast<int>(children[static_cast<size_t>(v)].size()),
         contributions[static_cast<size_t>(v)], result.best));
-  Scheduler scheduler(net, std::move(programs));
+  Scheduler scheduler(net, std::move(programs), sched);
   result.cost = scheduler.run();
   LN_ASSERT(static_cast<int>(result.best.size()) == num_keys);
   return result;

@@ -38,10 +38,11 @@ struct GatherResult {
 
 // Convergecast every node's items to the root. If `dedupe_by_key`, each
 // node forwards at most one item per key (first seen wins), and the root
-// keeps one per key.
+// keeps one per key. `sched` pins the scheduler mode (results and stats are
+// identical in every mode); phase code receives it from its RunContext.
 GatherResult gather_to_root(const WeightedGraph& g, const BfsTreeResult& tree,
                             const std::vector<std::vector<TreeItem>>& items,
-                            bool dedupe_by_key);
+                            bool dedupe_by_key, SchedulerOptions sched = {});
 
 struct BroadcastResult {
   CostStats cost;
@@ -52,7 +53,8 @@ struct BroadcastResult {
 // Pipelines `items` from the root to every vertex.
 BroadcastResult broadcast_from_root(const WeightedGraph& g,
                                     const BfsTreeResult& tree,
-                                    const std::vector<TreeItem>& items);
+                                    const std::vector<TreeItem>& items,
+                                    SchedulerOptions sched = {});
 
 struct KeyedAggregateResult {
   // best[k] = item with max `a` (interpreted as an encoded Weight) among all
@@ -66,7 +68,8 @@ struct KeyedAggregateResult {
 // Values are Message::encode_weight-encoded; absent keys yield -infinity.
 KeyedAggregateResult keyed_max_aggregate(
     const WeightedGraph& g, const BfsTreeResult& tree, int num_keys,
-    const std::vector<std::vector<TreeItem>>& contributions);
+    const std::vector<std::vector<TreeItem>>& contributions,
+    SchedulerOptions sched = {});
 
 // Children lists of a BFS tree (helper shared by the programs here and by
 // phase code that walks τ).

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -27,5 +28,11 @@ struct BaswanaSenResult {
 BaswanaSenResult baswana_sen_spanner(const WeightedGraph& g,
                                      std::span<const char> edge_allowed,
                                      int k, std::uint64_t seed);
+
+// RunContext entry point: seed from ctx.seed; the O(k)-round cost charge is
+// mirrored into ctx.ledger_sink as a single "baswana-sen" phase.
+BaswanaSenResult baswana_sen_spanner(const WeightedGraph& g,
+                                     std::span<const char> edge_allowed,
+                                     int k, const api::RunContext& ctx);
 
 }  // namespace lightnet

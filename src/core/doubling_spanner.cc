@@ -14,6 +14,13 @@ namespace lightnet {
 
 DoublingSpannerResult build_doubling_spanner(
     const WeightedGraph& g, const DoublingSpannerParams& params) {
+  return build_doubling_spanner(g, params,
+                                api::RunContext{}.with_seed(params.seed));
+}
+
+DoublingSpannerResult build_doubling_spanner(
+    const WeightedGraph& g, const DoublingSpannerParams& params,
+    const api::RunContext& ctx) {
   LN_REQUIRE(params.epsilon > 0.0 && params.epsilon < 1.0,
              "epsilon must be in (0, 1)");
   const int n = g.num_vertices();
@@ -32,7 +39,7 @@ DoublingSpannerResult build_doubling_spanner(
   if (params.use_hopset) {
     const int beta = std::max(
         2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
-    HopsetResult hr = build_hopset(g, beta, params.seed ^ 0x48ULL);
+    HopsetResult hr = build_hopset(g, beta, ctx.seed ^ 0x48ULL);
     result.ledger.add("hopset-build", hr.cost);
     hopset = std::move(hr.hopset);
     hop_diameter = g.hop_diameter();
@@ -51,9 +58,9 @@ DoublingSpannerResult build_doubling_spanner(
     NetParams net_params;
     net_params.radius = eps * scale / 3.0;
     net_params.delta = 0.5;
-    net_params.seed = params.seed ^ (0x5343414cULL +
-                                     static_cast<std::uint64_t>(scale_index));
-    const NetResult net = build_net(g, net_params);
+    const NetResult net = build_net(
+        g, net_params,
+        ctx.child(0x5343414cULL + static_cast<std::uint64_t>(scale_index)));
     result.ledger.absorb(net.ledger,
                          "scale-" + std::to_string(scale_index) + "-net");
     diag.net_size = net.net.size();
@@ -73,7 +80,7 @@ DoublingSpannerResult build_doubling_spanner(
                                                 2.0 * scale, explore_eps,
                                                 hop_diameter)
             : bounded_multi_source_paths(g, net.net, 2.0 * scale,
-                                         explore_eps);
+                                         explore_eps, ctx.sched);
     result.ledger.add("scale-" + std::to_string(scale_index) + "-explore",
                       explore.cost);
     diag.max_sources_per_vertex = explore.max_sources_per_vertex;
@@ -100,6 +107,7 @@ DoublingSpannerResult build_doubling_spanner(
   }
 
   result.spanner = dedupe_edge_ids(std::move(spanner));
+  api::deposit(ctx, result.ledger, "doubling-spanner");
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -24,6 +25,8 @@ namespace lightnet {
 struct DoublingSpannerParams {
   double epsilon = 0.125;  // paper analyzes ε < 1/8; larger values run but
                            // carry the rescaled constant
+  // Legacy seed; the RunContext overload ignores it in favor of
+  // RunContext::seed.
   std::uint64_t seed = 1;
   bool use_hopset = false;
 };
@@ -42,6 +45,13 @@ struct DoublingSpannerResult {
   std::vector<ScaleDiagnostics> scales;
 };
 
+// Canonical entry point: randomness from ctx.seed, every kernel execution
+// under ctx.sched, per-phase costs mirrored into ctx.ledger_sink.
+DoublingSpannerResult build_doubling_spanner(const WeightedGraph& g,
+                                             const DoublingSpannerParams& params,
+                                             const api::RunContext& ctx);
+
+// Back-compat wrapper: RunContext built from params.seed.
 DoublingSpannerResult build_doubling_spanner(
     const WeightedGraph& g, const DoublingSpannerParams& params);
 

@@ -110,6 +110,13 @@ Clustering cluster_case2(const EulerTourResult& tour, int n, double band,
 
 LightSpannerResult build_light_spanner(const WeightedGraph& g,
                                        const LightSpannerParams& params) {
+  return build_light_spanner(g, params,
+                             api::RunContext{}.with_seed(params.seed));
+}
+
+LightSpannerResult build_light_spanner(const WeightedGraph& g,
+                                       const LightSpannerParams& params,
+                                       const api::RunContext& ctx) {
   LN_REQUIRE(params.k >= 1, "k must be at least 1");
   LN_REQUIRE(params.epsilon > 0.0 && params.epsilon < 1.0,
              "epsilon must be in (0, 1)");
@@ -121,7 +128,8 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
   if (n <= 1) return result;
 
   // Substrates.
-  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, rt);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, rt,
+                                                             ctx.sched);
   result.ledger.add("bfs-tree", bfs.cost);
   const DistributedMstResult mst = build_distributed_mst(g, rt);
   result.ledger.absorb(mst.ledger, "mst");
@@ -145,7 +153,7 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
   }
   if (low_count > 0) {
     const BaswanaSenResult bs =
-        baswana_sen_spanner(g, in_low, k, params.seed ^ 0xB5ULL);
+        baswana_sen_spanner(g, in_low, k, ctx.seed ^ 0xB5ULL);
     result.ledger.add("baswana-sen-low", bs.cost);
     result.low_bucket_edges = bs.spanner.size();
     spanner.insert(spanner.end(), bs.spanner.begin(), bs.spanner.end());
@@ -179,7 +187,7 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
       eps * std::pow(static_cast<double>(n),
                      static_cast<double>(k) / (2.0 * k + 1.0));
 
-  Rng master_rng(params.seed ^ 0x4c53ULL);
+  Rng master_rng(ctx.seed ^ 0x4c53ULL);
 
   for (int i = 0; i <= max_bucket; ++i) {
     auto& bucket = buckets[static_cast<size_t>(i)];
@@ -303,7 +311,7 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
                  static_cast<std::uint64_t>(best_s)});
         }
         congest::KeyedAggregateResult agg = congest::keyed_max_aggregate(
-            g, bfs, num_keys, contributions);
+            g, bfs, num_keys, contributions, ctx.sched);
         result.ledger.add(
             "bucket-" + std::to_string(i) + "-en-aggregate", agg.cost);
         for (int a = 0; a < num_keys; ++a) {
@@ -320,7 +328,7 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
                Message::encode_weight(cur.m[static_cast<size_t>(a)]),
                static_cast<std::uint64_t>(cur.s[static_cast<size_t>(a)])});
         const congest::BroadcastResult bc =
-            congest::broadcast_from_root(g, bfs, round_items);
+            congest::broadcast_from_root(g, bfs, round_items, ctx.sched);
         result.ledger.add(
             "bucket-" + std::to_string(i) + "-en-broadcast", bc.cost);
       }
@@ -342,14 +350,14 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
         }
       }
       congest::GatherResult gathered = congest::gather_to_root(
-          g, bfs, proposals, /*dedupe_by_key=*/true);
+          g, bfs, proposals, /*dedupe_by_key=*/true, ctx.sched);
       result.ledger.add("bucket-" + std::to_string(i) + "-edge-gather",
                         gathered.cost);
       std::vector<TreeItem> chosen_items;
       for (const auto& [a, b] : en.cluster_edges)
         chosen_items.push_back({cluster_pair_key(a, b, num_keys), 0, 0});
       const congest::BroadcastResult bc =
-          congest::broadcast_from_root(g, bfs, chosen_items);
+          congest::broadcast_from_root(g, bfs, chosen_items, ctx.sched);
       result.ledger.add("bucket-" + std::to_string(i) + "-edge-broadcast",
                         bc.cost);
     } else {
@@ -393,6 +401,7 @@ LightSpannerResult build_light_spanner(const WeightedGraph& g,
   }
 
   result.spanner = dedupe_edge_ids(std::move(spanner));
+  api::deposit(ctx, result.ledger, "light-spanner");
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -29,6 +30,8 @@ namespace lightnet {
 struct LightSpannerParams {
   int k = 2;
   double epsilon = 0.25;
+  // Legacy seed; the RunContext overload ignores it in favor of
+  // RunContext::seed.
   std::uint64_t seed = 1;
   // §5.1 "Success probability": rerun a bucket whose spanner exceeds the
   // expected size bound; stretch is deterministic, so retries only bound
@@ -54,6 +57,13 @@ struct LightSpannerResult {
   size_t mst_edge_count = 0;
 };
 
+// Canonical entry point: randomness from ctx.seed, every kernel execution
+// under ctx.sched, per-phase costs mirrored into ctx.ledger_sink.
+LightSpannerResult build_light_spanner(const WeightedGraph& g,
+                                       const LightSpannerParams& params,
+                                       const api::RunContext& ctx);
+
+// Back-compat wrapper: RunContext built from params.seed.
 LightSpannerResult build_light_spanner(const WeightedGraph& g,
                                        const LightSpannerParams& params);
 

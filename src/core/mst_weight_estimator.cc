@@ -11,6 +11,11 @@ namespace lightnet {
 
 MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
                                       std::uint64_t seed) {
+  return estimate_mst_weight(g, delta, api::RunContext{}.with_seed(seed));
+}
+
+MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
+                                      const api::RunContext& ctx) {
   LN_REQUIRE(delta >= 0.0, "delta must be nonnegative");
   MstEstimateResult result;
   result.exact = mst_weight(g);
@@ -29,9 +34,9 @@ MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
     NetParams params;
     params.radius = separation * (1.0 + delta);
     params.delta = delta;
-    params.seed = seed ^ (0x505349ULL + static_cast<std::uint64_t>(
-                                            scale_index));
-    const NetResult net = build_net(g, params);
+    const NetResult net = build_net(
+        g, params,
+        ctx.child(0x505349ULL + static_cast<std::uint64_t>(scale_index)));
     result.ledger.absorb(net.ledger,
                          "scale-" + std::to_string(scale_index));
     result.scales.push_back({separation, net.net.size()});
@@ -46,6 +51,7 @@ MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
                   "estimator did not converge to a single net point");
   }
   result.ratio = result.psi / result.exact;
+  api::deposit(ctx, result.ledger, "mst-weight-estimate");
   return result;
 }
 

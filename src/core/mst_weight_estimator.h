@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -32,6 +33,10 @@ struct MstEstimateResult {
   congest::RoundLedger ledger;
 };
 
+MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
+                                      const api::RunContext& ctx);
+
+// Back-compat wrapper: RunContext built from `seed`.
 MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
                                       std::uint64_t seed);
 

@@ -12,6 +12,11 @@
 namespace lightnet {
 
 NetResult build_net(const WeightedGraph& g, const NetParams& params) {
+  return build_net(g, params, api::RunContext{}.with_seed(params.seed));
+}
+
+NetResult build_net(const WeightedGraph& g, const NetParams& params,
+                    const api::RunContext& ctx) {
   LN_REQUIRE(params.radius > 0.0, "net radius must be positive");
   LN_REQUIRE(params.delta >= 0.0, "delta must be nonnegative");
   const int n = g.num_vertices();
@@ -25,7 +30,7 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params) {
                       : 8 * static_cast<int>(std::ceil(std::log2(
                             std::max(2, n)))) +
                             16;
-  Rng rng(params.seed ^ 0x4e455453ULL);
+  Rng rng(ctx.seed ^ 0x4e455453ULL);
 
   std::vector<char> active(static_cast<size_t>(n), 1);
   std::vector<char> in_net(static_cast<size_t>(n), 0);
@@ -45,7 +50,7 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params) {
 
     // LE lists w.r.t. the (1+δ)-approximation H (Theorem 4 substitute).
     const LeListsResult le =
-        compute_le_lists(g, active_set, rank, delta);
+        compute_le_lists(g, active_set, rank, delta, ctx.sched);
     result.ledger.add("iter-" + std::to_string(iter) + "-le-lists", le.cost);
     result.max_le_list_size =
         std::max(result.max_le_list_size, le.max_list_size);
@@ -71,7 +76,7 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params) {
     // Approximate SPT rooted at the fresh net points; deactivate everything
     // within (1+δ)·Δ of them.
     const ApproxSptForestResult forest =
-        build_approx_spt_forest(g, fresh, delta);
+        build_approx_spt_forest(g, fresh, delta, ctx.sched);
     result.ledger.add("iter-" + std::to_string(iter) + "-spt", forest.cost);
     for (VertexId v = 0; v < n; ++v) {
       if (!active[static_cast<size_t>(v)]) continue;
@@ -90,6 +95,7 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params) {
                   "cap");
     if (in_net[static_cast<size_t>(v)]) result.net.push_back(v);
   }
+  api::deposit(ctx, result.ledger, "net");
   return result;
 }
 

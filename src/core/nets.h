@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -21,6 +22,8 @@ namespace lightnet {
 struct NetParams {
   Weight radius = 1.0;     // Δ
   double delta = 0.5;      // δ: approximation slack (0 = exact distances)
+  // Legacy seed; the RunContext overload below ignores it in favor of
+  // RunContext::seed (the seed-less wrapper copies it into the context).
   std::uint64_t seed = 1;
   int max_iterations = 0;  // 0 = 8·log2(n) + 16 safety cap
 };
@@ -32,6 +35,12 @@ struct NetResult {
   congest::RoundLedger ledger;
 };
 
+// Canonical entry point: randomness from ctx.seed, every kernel execution
+// under ctx.sched, per-phase costs mirrored into ctx.ledger_sink.
+NetResult build_net(const WeightedGraph& g, const NetParams& params,
+                    const api::RunContext& ctx);
+
+// Back-compat wrapper: RunContext built from params.seed.
 NetResult build_net(const WeightedGraph& g, const NetParams& params);
 
 }  // namespace lightnet

@@ -31,7 +31,8 @@ struct SubgraphSpt {
 
 SubgraphSpt approx_spt_on_subgraph(const WeightedGraph& g,
                                    std::span<const EdgeId> subgraph_edges,
-                                   VertexId rt, double epsilon) {
+                                   VertexId rt, double epsilon,
+                                   congest::SchedulerOptions sched) {
   std::vector<Edge> edges;
   edges.reserve(subgraph_edges.size());
   std::vector<EdgeId> to_parent;
@@ -42,7 +43,7 @@ SubgraphSpt approx_spt_on_subgraph(const WeightedGraph& g,
   }
   const WeightedGraph h = WeightedGraph::from_edges(g.num_vertices(),
                                                     std::move(edges));
-  ApproxSptResult spt = build_approx_spt(h, rt, epsilon);
+  ApproxSptResult spt = build_approx_spt(h, rt, epsilon, sched);
   SubgraphSpt out;
   out.cost = spt.cost;
   out.tree_edges.reserve(static_cast<size_t>(g.num_vertices()) - 1);
@@ -65,20 +66,22 @@ SubgraphSpt approx_spt_on_subgraph(const WeightedGraph& g,
 
 }  // namespace
 
-SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon) {
+SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon,
+                    const api::RunContext& ctx) {
   LN_REQUIRE(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
   LN_REQUIRE(rt >= 0 && rt < g.num_vertices(), "root out of range");
   const int n = g.num_vertices();
   SltResult result;
 
   // Substrates: BFS tree τ, MST + fragments, Euler tour, approximate SPT.
-  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, rt);
+  const congest::BfsTreeResult bfs = congest::build_bfs_tree(g, rt,
+                                                             ctx.sched);
   result.ledger.add("bfs-tree", bfs.cost);
   const DistributedMstResult mst = build_distributed_mst(g, rt);
   result.ledger.absorb(mst.ledger, "mst");
   const EulerTourResult tour = build_euler_tour(g, mst, bfs);
   result.ledger.absorb(tour.ledger, "euler-tour");
-  const ApproxSptResult spt = build_approx_spt(g, rt, epsilon);
+  const ApproxSptResult spt = build_approx_spt(g, rt, epsilon, ctx.sched);
   result.ledger.add("approx-spt", spt.cost);
 
   result.diag.mst_weight = mst.tree.total_weight();
@@ -103,7 +106,7 @@ SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon) {
         epsilon *
         spt.dist[static_cast<size_t>(tour.sequence[static_cast<size_t>(j)])];
   const TourScanResult scan =
-      tour_interval_scan(g, tour, bp_prime_positions, threshold);
+      tour_interval_scan(g, tour, bp_prime_positions, threshold, ctx.sched);
   result.ledger.add("bp1-interval-scan", scan.cost);
   const std::vector<std::int64_t>& bp1_positions = scan.joined;
   {
@@ -136,8 +139,8 @@ SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon) {
          Message::encode_weight(tour.times[static_cast<size_t>(pos)]),
          Message::encode_weight(spt.dist[static_cast<size_t>(host)])});
   }
-  congest::GatherResult gathered =
-      congest::gather_to_root(g, bfs, anchor_items, /*dedupe_by_key=*/false);
+  congest::GatherResult gathered = congest::gather_to_root(
+      g, bfs, anchor_items, /*dedupe_by_key=*/false, ctx.sched);
   result.ledger.add("bp2-gather-anchors", gathered.cost);
   std::sort(gathered.items.begin(), gathered.items.end(),
             [](const TreeItem& a, const TreeItem& b) { return a.key < b.key; });
@@ -168,7 +171,7 @@ SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon) {
     for (std::int64_t pos : bp2_positions)
       bp2_items.push_back({static_cast<std::uint64_t>(pos), 0, 0});
     const congest::BroadcastResult bc =
-        congest::broadcast_from_root(g, bfs, bp2_items);
+        congest::broadcast_from_root(g, bfs, bp2_items, ctx.sched);
     result.ledger.add("bp2-broadcast", bc.cost);
   }
 
@@ -231,14 +234,17 @@ SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon) {
                 "Corollary 3 violated: H is too heavy");
 
   // ---- Final pass: approximate SPT of H rooted at rt.
-  SubgraphSpt final_spt = approx_spt_on_subgraph(g, h_edges, rt, epsilon);
+  SubgraphSpt final_spt =
+      approx_spt_on_subgraph(g, h_edges, rt, epsilon, ctx.sched);
   result.ledger.add("final-approx-spt", final_spt.cost);
   result.tree_edges = std::move(final_spt.tree_edges);
   result.tree = std::move(final_spt.tree);
+  api::deposit(ctx, result.ledger, "slt");
   return result;
 }
 
-SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma) {
+SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma,
+                          const api::RunContext& ctx) {
   LN_REQUIRE(gamma > 0.0 && gamma < 1.0, "gamma must be in (0, 1)");
   // Base algorithm instantiated at ε = 1: lightness ≤ 1 + 4/ε = 5 = c and
   // root distortion ≤ (1+ε)(1+25ε) = 52 = t. (The paper instantiates at
@@ -262,7 +268,9 @@ SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma) {
       WeightedGraph::from_edges(g.num_vertices(), std::move(reweighted));
 
   // Run the base construction on the reweighted graph (edge ids coincide).
-  SltResult base = build_slt(g_prime, rt, base_epsilon);
+  // The child context keeps the scheduler mode but detaches the sink: the
+  // base ledger is absorbed below, so a shared sink would double-count it.
+  SltResult base = build_slt(g_prime, rt, base_epsilon, ctx.child(0));
 
   // Final tree: approximate SPT (original weights) of base ∪ MST.
   std::vector<EdgeId> h_edges = base.tree_edges;
@@ -280,10 +288,12 @@ SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma) {
 
   // Final tree pass at a small ε so it costs only a (1+1/4) stretch factor
   // on top of t/δ.
-  SubgraphSpt final_spt = approx_spt_on_subgraph(g, h_edges, rt, 0.25);
+  SubgraphSpt final_spt =
+      approx_spt_on_subgraph(g, h_edges, rt, 0.25, ctx.sched);
   result.ledger.add("bfn16-final-spt", final_spt.cost);
   result.tree_edges = std::move(final_spt.tree_edges);
   result.tree = std::move(final_spt.tree);
+  api::deposit(ctx, result.ledger, "slt-light");
   return result;
 }
 

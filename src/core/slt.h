@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -39,9 +40,13 @@ struct SltResult {
   SltDiagnostics diag;
 };
 
-SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon);
+// The construction is deterministic; the RunContext contributes the
+// scheduler mode for every kernel phase and an optional ledger sink.
+SltResult build_slt(const WeightedGraph& g, VertexId rt, double epsilon,
+                    const api::RunContext& ctx = {});
 
 // Lightness 1+γ, root stretch O(1/γ), for γ ∈ (0, 1).
-SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma);
+SltResult build_slt_light(const WeightedGraph& g, VertexId rt, double gamma,
+                          const api::RunContext& ctx = {});
 
 }  // namespace lightnet

@@ -84,7 +84,8 @@ class ScanProgram final : public NodeProgram {
 TourScanResult tour_interval_scan(const WeightedGraph& g,
                                   const EulerTourResult& tour,
                                   const std::vector<std::int64_t>& anchors,
-                                  const std::vector<Weight>& threshold) {
+                                  const std::vector<Weight>& threshold,
+                                  congest::SchedulerOptions sched) {
   LN_REQUIRE(threshold.size() ==
                  static_cast<size_t>(tour.num_positions),
              "one threshold per tour position required");
@@ -110,7 +111,7 @@ TourScanResult tour_interval_scan(const WeightedGraph& g,
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(std::make_unique<ScanProgram>(
         v, tour, is_anchor, is_interval_end, threshold, joined));
-  congest::Scheduler scheduler(net, std::move(programs));
+  congest::Scheduler scheduler(net, std::move(programs), sched);
 
   TourScanResult result;
   result.cost = scheduler.run();

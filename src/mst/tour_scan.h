@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 #include "mst/euler_tour.h"
@@ -32,6 +33,7 @@ struct TourScanResult {
 TourScanResult tour_interval_scan(const WeightedGraph& g,
                                   const EulerTourResult& tour,
                                   const std::vector<std::int64_t>& anchors,
-                                  const std::vector<Weight>& threshold);
+                                  const std::vector<Weight>& threshold,
+                                  congest::SchedulerOptions sched = {});
 
 }  // namespace lightnet

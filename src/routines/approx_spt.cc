@@ -23,11 +23,12 @@ WeightedGraph round_weights_up(const WeightedGraph& g, double epsilon) {
 }
 
 ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
-                                 double epsilon) {
+                                 double epsilon,
+                                 congest::SchedulerOptions sched) {
   const WeightedGraph rounded = round_weights_up(g, epsilon);
   const VertexId sources[] = {root};
   congest::BellmanFordResult bf =
-      congest::distributed_bellman_ford(rounded, sources);
+      congest::distributed_bellman_ford(rounded, sources, {}, sched);
 
   ApproxSptResult result;
   result.cost = bf.cost;
@@ -48,12 +49,12 @@ ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
   return result;
 }
 
-ApproxSptForestResult build_approx_spt_forest(const WeightedGraph& g,
-                                              std::span<const VertexId> sources,
-                                              double epsilon) {
+ApproxSptForestResult build_approx_spt_forest(
+    const WeightedGraph& g, std::span<const VertexId> sources, double epsilon,
+    congest::SchedulerOptions sched) {
   const WeightedGraph rounded = round_weights_up(g, epsilon);
   congest::BellmanFordResult bf =
-      congest::distributed_bellman_ford(rounded, sources);
+      congest::distributed_bellman_ford(rounded, sources, {}, sched);
   ApproxSptForestResult result;
   result.cost = bf.cost;
   result.dist = std::move(bf.dist);

@@ -23,8 +23,11 @@ struct ApproxSptResult {
   congest::CostStats cost;
 };
 
+// `sched` pins the kernel scheduler mode (see congest/scheduler.h); trees,
+// labels, and stats are identical in every mode.
 ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
-                                 double epsilon);
+                                 double epsilon,
+                                 congest::SchedulerOptions sched = {});
 
 // Multi-source variant (forest rooted at `sources`); used by the net
 // algorithm to deactivate vertices near fresh net points (§6).
@@ -36,9 +39,9 @@ struct ApproxSptForestResult {
   congest::CostStats cost;
 };
 
-ApproxSptForestResult build_approx_spt_forest(const WeightedGraph& g,
-                                              std::span<const VertexId> sources,
-                                              double epsilon);
+ApproxSptForestResult build_approx_spt_forest(
+    const WeightedGraph& g, std::span<const VertexId> sources, double epsilon,
+    congest::SchedulerOptions sched = {});
 
 // The weight-rounding used above, exposed for LE lists (§6 computes LE
 // lists w.r.t. a (1+δ)-approximation H of G — we use the same H).

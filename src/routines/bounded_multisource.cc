@@ -99,7 +99,7 @@ const BoundedSourceEntry* find_entry(const BoundedMultiSourceResult& result,
 
 BoundedMultiSourceResult bounded_multi_source_paths(
     const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
-    double epsilon) {
+    double epsilon, congest::SchedulerOptions sched) {
   const WeightedGraph h = round_weights_up(g, epsilon);
   std::vector<char> is_source(static_cast<size_t>(g.num_vertices()), 0);
   for (VertexId s : sources) {
@@ -114,7 +114,7 @@ BoundedMultiSourceResult bounded_multi_source_paths(
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     programs.push_back(std::make_unique<BoundedProgram>(
         v, is_source[static_cast<size_t>(v)] != 0, radius, state));
-  congest::Scheduler scheduler(net, std::move(programs));
+  congest::Scheduler scheduler(net, std::move(programs), sched);
   const congest::CostStats cost = scheduler.run();
   BoundedMultiSourceResult result = finalize_tables(state);
   result.cost = cost;

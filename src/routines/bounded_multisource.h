@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 #include "routines/hopset.h"
@@ -39,10 +40,11 @@ struct BoundedMultiSourceResult {
   congest::CostStats cost;
 };
 
-// Kernel (message-level) implementation.
+// Kernel (message-level) implementation. `sched` pins the scheduler mode;
+// tables and stats are identical in every mode.
 BoundedMultiSourceResult bounded_multi_source_paths(
     const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
-    double epsilon);
+    double epsilon, congest::SchedulerOptions sched = {});
 
 // Hopset-accelerated implementation: at most `hopset.hop_limit * 3`
 // Bellman-Ford iterations, hub estimates exchanged globally each iteration

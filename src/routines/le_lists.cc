@@ -121,7 +121,8 @@ class LeListProgram final : public NodeProgram {
 LeListsResult compute_le_lists(const WeightedGraph& g,
                                std::span<const VertexId> active,
                                std::span<const std::uint64_t> rank,
-                               double delta) {
+                               double delta,
+                               congest::SchedulerOptions sched) {
   LN_REQUIRE(rank.size() == static_cast<size_t>(g.num_vertices()),
              "one rank slot per vertex required");
   const WeightedGraph h = round_weights_up(g, delta);
@@ -142,7 +143,7 @@ LeListsResult compute_le_lists(const WeightedGraph& g,
     programs.push_back(std::make_unique<LeListProgram>(
         v, is_active[static_cast<size_t>(v)] != 0,
         rank[static_cast<size_t>(v)], result));
-  congest::Scheduler scheduler(net, std::move(programs));
+  congest::Scheduler scheduler(net, std::move(programs), sched);
   result.cost = scheduler.run();
 
   for (const auto& list : result.lists)

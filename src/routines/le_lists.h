@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
 
@@ -45,7 +46,8 @@ struct LeListsResult {
 LeListsResult compute_le_lists(const WeightedGraph& g,
                                std::span<const VertexId> active,
                                std::span<const std::uint64_t> rank,
-                               double delta);
+                               double delta,
+                               congest::SchedulerOptions sched = {});
 
 // Brute-force sequential reference (Dijkstra from every active vertex);
 // used by tests to validate the distributed computation entry by entry.

@@ -1,0 +1,16 @@
+// lightnet_cli — run any registered construction on any generated topology
+// from a key=value spec string, emitting one JSON-lines record per run.
+//
+//   lightnet_cli list
+//   lightnet_cli construction=all topology=er,grid,ring,geo n=64 seed=1
+//
+// See src/api/cli.h for the full key reference and record schema.
+#include <string>
+#include <vector>
+
+#include "api/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return lightnet::api::run_cli(args, stdout, stderr);
+}
