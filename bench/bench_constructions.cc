@@ -2,16 +2,24 @@
 //
 // Unlike the bench_* microbenchmarks (google-benchmark binaries), this is a
 // standalone driver: it runs every registered construction on every
-// topology in the sweep below, measures wall-clock per run, and writes one
-// JSON document — BENCH_constructions.json — combining wall time with the
-// CONGEST costs (rounds/messages from the per-phase RoundLedger). The file
-// is committed at the repo root as the cross-PR trajectory for whole-
-// construction performance, next to BENCH_scheduler.json for the raw
-// simulator.
+// topology in the sweep below at every requested size, measures wall-clock
+// per run, and writes one JSON document — BENCH_constructions.json —
+// combining wall time with the CONGEST costs (rounds/messages from the
+// per-phase RoundLedger). The file is committed at the repo root as the
+// cross-PR trajectory for whole-construction performance, next to
+// BENCH_scheduler.json for the raw simulator.
 //
-//   ./bench_constructions [output.json] [n]
+//   ./bench_constructions [output.json] [sizes] [--budget budget_file]
+//
+// `sizes` is a comma-separated list of n values (default 96). The optional
+// budget file is the CI perf smoke-gate: lines of
+//   <construction> <topology> <n> <max_messages>
+// ('#' comments allowed); the driver exits nonzero if any referenced run is
+// missing, errored, or exceeded its simulated-message budget.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <string>
 #include <vector>
@@ -21,9 +29,115 @@
 
 using namespace lightnet;
 
+namespace {
+
+struct RunRecord {
+  std::string construction;
+  std::string topology;
+  int n = 0;
+  bool failed = false;
+  std::uint64_t messages = 0;
+};
+
+// Parses a comma-separated list of positive integers; exits on anything
+// else ("1,024" or "n96" silently benchmarking the wrong sizes would make
+// the budget gate report a confusing missing-run error instead).
+std::vector<int> parse_sizes(const char* arg) {
+  std::vector<int> sizes;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        char* end = nullptr;
+        const long n = std::strtol(token.c_str(), &end, 10);
+        if (*end != '\0' || n <= 0) {
+          std::fprintf(stderr, "invalid size '%s' in '%s'\n", token.c_str(),
+                       arg);
+          std::exit(1);
+        }
+        sizes.push_back(static_cast<int>(n));
+      }
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  if (sizes.empty()) {
+    std::fprintf(stderr, "no sizes in '%s'\n", arg);
+    std::exit(1);
+  }
+  return sizes;
+}
+
+// Returns the number of budget violations (missing/errored runs count).
+int check_budgets(const char* path, const std::vector<RunRecord>& runs) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open budget file %s\n", path);
+    return 1;
+  }
+  int violations = 0;
+  char cons[128], topo[128];
+  int n = 0;
+  unsigned long long max_messages = 0;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (line[0] == '#' || line[0] == '\n') continue;
+    if (std::sscanf(line, "%127s %127s %d %llu", cons, topo, &n,
+                    &max_messages) != 4) {
+      std::fprintf(stderr, "malformed budget line: %s", line);
+      ++violations;
+      continue;
+    }
+    const RunRecord* match = nullptr;
+    for (const RunRecord& r : runs)
+      if (r.construction == cons && r.topology == topo && r.n == n) match = &r;
+    if (match == nullptr || match->failed) {
+      std::fprintf(stderr, "BUDGET: no successful run for %s/%s n=%d\n", cons,
+                   topo, n);
+      ++violations;
+    } else if (match->messages > max_messages) {
+      std::fprintf(stderr,
+                   "BUDGET EXCEEDED: %s/%s n=%d sent %llu messages "
+                   "(budget %llu)\n",
+                   cons, topo, n,
+                   static_cast<unsigned long long>(match->messages),
+                   max_messages);
+      ++violations;
+    } else {
+      std::fprintf(stderr, "budget ok: %s/%s n=%d %llu <= %llu\n", cons, topo,
+                   n, static_cast<unsigned long long>(match->messages),
+                   max_messages);
+    }
+  }
+  std::fclose(f);
+  return violations;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_constructions.json";
-  const int n = argc > 2 ? std::atoi(argv[2]) : 96;
+  const char* out_path = "BENCH_constructions.json";
+  const char* sizes_arg = "96";
+  const char* budget_path = nullptr;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--budget requires a file argument\n");
+        return 1;
+      }
+      budget_path = argv[++i];
+    } else if (positional == 0) {
+      out_path = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      sizes_arg = argv[i];
+      ++positional;
+    }
+  }
+  const std::vector<int> sizes = parse_sizes(sizes_arg);
 
   // Four regimes: sparse general (er), doubling (geo), lightness-
   // adversarial (ring), large hop-diameter (grid).
@@ -34,64 +148,85 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
     return 1;
   }
-  std::fprintf(out, "{\"benchmark\":\"constructions\",\"n\":%d,\"runs\":[\n",
-               n);
+  std::fprintf(out, "{\"benchmark\":\"constructions\",\"sizes\":[");
+  for (size_t i = 0; i < sizes.size(); ++i)
+    std::fprintf(out, "%s%d", i == 0 ? "" : ",", sizes[i]);
+  std::fprintf(out, "],\"runs\":[\n");
+  std::vector<RunRecord> records;
   bool first = true;
-  for (const std::string& family : topologies) {
-    api::ScenarioSpec scenario;
-    scenario.family = family;
-    scenario.n = n;
-    scenario.seed = 1;
-    const WeightedGraph g = api::materialize(scenario);
-    for (const api::Construction* c : api::all_constructions()) {
-      api::RunContext ctx;
-      ctx.seed = 1;
-      const auto start = std::chrono::steady_clock::now();
-      api::Artifact artifact;
-      bool failed = false;
-      std::string error;
-      try {
-        artifact = c->run(g, api::ConstructionParams{}, ctx);
-      } catch (const std::exception& e) {
-        failed = true;
-        error = e.what();
+  for (int n : sizes) {
+    for (const std::string& family : topologies) {
+      api::ScenarioSpec scenario;
+      scenario.family = family;
+      scenario.n = n;
+      scenario.seed = 1;
+      const WeightedGraph g = api::materialize(scenario);
+      for (const api::Construction* c : api::all_constructions()) {
+        api::RunContext ctx;
+        ctx.seed = 1;
+        const auto start = std::chrono::steady_clock::now();
+        api::Artifact artifact;
+        bool failed = false;
+        std::string error;
+        try {
+          artifact = c->run(g, api::ConstructionParams{}, ctx);
+        } catch (const std::exception& e) {
+          failed = true;
+          error = e.what();
+        }
+        const double wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        if (!first) std::fprintf(out, ",\n");
+        first = false;
+        RunRecord rec;
+        rec.construction = std::string(c->name());
+        rec.topology = family;
+        rec.n = n;
+        rec.failed = failed;
+        if (failed) {
+          std::fprintf(out,
+                       "{\"construction\":\"%s\",\"topology\":\"%s\","
+                       "\"n\":%d,\"error\":\"%s\"}",
+                       rec.construction.c_str(), family.c_str(), n,
+                       congest::json_escape(error).c_str());
+          std::fprintf(stderr, "%-20s %-6s n=%-5d FAILED: %s\n",
+                       rec.construction.c_str(), family.c_str(), n,
+                       error.c_str());
+          records.push_back(rec);
+          continue;
+        }
+        const congest::CostStats& total = artifact.ledger.total();
+        rec.messages = total.messages;
+        records.push_back(rec);
+        std::fprintf(
+            out,
+            "{\"construction\":\"%s\",\"topology\":\"%s\",\"n\":%d,"
+            "\"vertices\":%d,\"edges\":%d,\"wall_ms\":%s,\"rounds\":%llu,"
+            "\"messages\":%llu,\"max_edge_load\":%llu,\"output_edges\":%zu,"
+            "\"output_vertices\":%zu}",
+            rec.construction.c_str(), family.c_str(), n, g.num_vertices(),
+            g.num_edges(), api::json_number(wall_ms).c_str(),
+            static_cast<unsigned long long>(total.rounds),
+            static_cast<unsigned long long>(total.messages),
+            static_cast<unsigned long long>(total.max_edge_load),
+            artifact.edges.size(), artifact.vertices.size());
+        std::fprintf(stderr, "%-20s %-6s n=%-5d %8.1f ms  %10llu rounds\n",
+                     rec.construction.c_str(), family.c_str(), n, wall_ms,
+                     static_cast<unsigned long long>(total.rounds));
       }
-      const double wall_ms = std::chrono::duration<double, std::milli>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count();
-      if (!first) std::fprintf(out, ",\n");
-      first = false;
-      if (failed) {
-        std::fprintf(out,
-                     "{\"construction\":\"%s\",\"topology\":\"%s\","
-                     "\"error\":\"%s\"}",
-                     std::string(c->name()).c_str(), family.c_str(),
-                     congest::json_escape(error).c_str());
-        std::fprintf(stderr, "%-20s %-6s FAILED: %s\n",
-                     std::string(c->name()).c_str(), family.c_str(),
-                     error.c_str());
-        continue;
-      }
-      const congest::CostStats& total = artifact.ledger.total();
-      std::fprintf(
-          out,
-          "{\"construction\":\"%s\",\"topology\":\"%s\",\"vertices\":%d,"
-          "\"edges\":%d,\"wall_ms\":%s,\"rounds\":%llu,\"messages\":%llu,"
-          "\"max_edge_load\":%llu,\"output_edges\":%zu,"
-          "\"output_vertices\":%zu}",
-          std::string(c->name()).c_str(), family.c_str(), g.num_vertices(),
-          g.num_edges(), api::json_number(wall_ms).c_str(),
-          static_cast<unsigned long long>(total.rounds),
-          static_cast<unsigned long long>(total.messages),
-          static_cast<unsigned long long>(total.max_edge_load),
-          artifact.edges.size(), artifact.vertices.size());
-      std::fprintf(stderr, "%-20s %-6s %8.1f ms  %10llu rounds\n",
-                   std::string(c->name()).c_str(), family.c_str(), wall_ms,
-                   static_cast<unsigned long long>(total.rounds));
     }
   }
   std::fprintf(out, "\n]}\n");
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path);
+
+  if (budget_path != nullptr) {
+    const int violations = check_budgets(budget_path, records);
+    if (violations > 0) {
+      std::fprintf(stderr, "%d budget violation(s)\n", violations);
+      return 1;
+    }
+  }
   return 0;
 }

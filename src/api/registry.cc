@@ -142,16 +142,23 @@ class DoublingSpannerConstruction final : public Construction {
     a.edges = std::move(r.spanner);
     a.ledger = std::move(r.ledger);
     double max_net = 0.0, pairs = 0.0, max_sources = 0.0;
+    double inherited = 0.0, shell = 0.0, seed_points = 0.0;
     for (const ScaleDiagnostics& s : r.scales) {
       max_net = std::max(max_net, static_cast<double>(s.net_size));
       pairs += static_cast<double>(s.pairs_connected);
       max_sources = std::max(max_sources,
                              static_cast<double>(s.max_sources_per_vertex));
+      inherited += static_cast<double>(s.explore_records_inherited);
+      shell += static_cast<double>(s.explore_shell_announcements);
+      seed_points += static_cast<double>(s.net_seed_points);
     }
     push(a.diagnostics, "scales", static_cast<double>(r.scales.size()));
     push(a.diagnostics, "max_net_size", max_net);
     push(a.diagnostics, "pairs_connected", pairs);
     push(a.diagnostics, "max_sources_per_vertex", max_sources);
+    push(a.diagnostics, "explore_records_inherited", inherited);
+    push(a.diagnostics, "explore_shell_announcements", shell);
+    push(a.diagnostics, "net_seed_points", seed_points);
     // §7.2: stretch 1 + c·ε with c = 30 for ε < 1/8.
     push(a.diagnostics, "bound_stretch", 1.0 + 30.0 * p.epsilon);
     return a;

@@ -67,6 +67,15 @@ BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
                                            std::span<const VertexId> sources,
                                            BellmanFordOptions options,
                                            SchedulerOptions sched_options) {
+  const Network net(g);
+  return distributed_bellman_ford(net, sources, options, sched_options);
+}
+
+BellmanFordResult distributed_bellman_ford(const Network& net,
+                                           std::span<const VertexId> sources,
+                                           BellmanFordOptions options,
+                                           SchedulerOptions sched_options) {
+  const WeightedGraph& g = net.graph();
   BellmanFordResult result;
   const size_t n = static_cast<size_t>(g.num_vertices());
   result.dist.assign(n, kInfiniteDistance);
@@ -80,7 +89,6 @@ BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
     is_source[static_cast<size_t>(s)] = 1;
   }
 
-  Network net(g);
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(n);
   for (VertexId v = 0; v < g.num_vertices(); ++v)

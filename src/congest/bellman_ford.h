@@ -38,4 +38,11 @@ BellmanFordResult distributed_bellman_ford(const WeightedGraph& g,
                                            BellmanFordOptions options = {},
                                            SchedulerOptions sched_options = {});
 
+// Variant over a prebuilt communication Network (distances are w.r.t.
+// net.graph()); multi-phase callers hoist the Network out of their loops.
+BellmanFordResult distributed_bellman_ford(const Network& net,
+                                           std::span<const VertexId> sources,
+                                           BellmanFordOptions options = {},
+                                           SchedulerOptions sched_options = {});
+
 }  // namespace lightnet::congest

@@ -2,8 +2,20 @@
 //
 // The model allows O(log n) bits per edge per round; we model that as a
 // small fixed number of 64-bit words (ids and quantized distances each fit
-// a word). The scheduler rejects oversized messages, so a program that
-// compiles against this interface cannot silently cheat the model.
+// a word). The scheduler rejects oversized messages in strict mode, so a
+// program that compiles against this interface cannot silently cheat the
+// model.
+//
+// Batched payloads: a message may carry more than kMaxWords words (the
+// batched frontier announcements of the doubling pipeline pack many
+// (source, distance) pairs into one simulated send). The words beyond the
+// inline array live in the scheduler's payload arena, referenced by
+// (ext_offset, ext_size); receivers read the full payload through
+// NodeContext::payload(). Accounting stays honest: a w-word message charges
+// w to CostStats::words and ceil(w / kMaxWords) standard-message units to
+// the per-edge congestion window (so max_edge_load reports the true
+// bandwidth multiple, and strict_congest rejects any batch that exceeds the
+// one-message budget).
 #pragma once
 
 #include <array>
@@ -15,14 +27,16 @@
 
 namespace lightnet::congest {
 
-// Max words in one message. 3 words ≈ (id, id, value) — the largest tuple
-// any algorithm in the paper sends in a single round.
+// Max words in one *standard* message. 3 words ≈ (id, id, value) — the
+// largest tuple any non-batched algorithm in the paper sends in a round.
 inline constexpr int kMaxWords = 3;
 
 struct Message {
   std::uint32_t tag = 0;
+  std::uint8_t size = 0;          // inline words in `words`
+  std::uint16_t ext_size = 0;     // words resident in the payload arena
+  std::uint32_t ext_offset = 0;   // arena offset (scheduler-internal)
   std::array<std::uint64_t, kMaxWords> words{};
-  std::uint8_t size = 0;
 
   Message() = default;
   Message(std::uint32_t t, std::initializer_list<std::uint64_t> ws) : tag(t) {
@@ -34,6 +48,9 @@ struct Message {
     LN_ASSERT(i >= 0 && i < size);
     return words[static_cast<size_t>(i)];
   }
+
+  // Inline + arena words; what the congestion accounting charges against.
+  int total_words() const { return size + ext_size; }
 
   // Doubles are shipped bit-cast into a word; distances are nonnegative so
   // this is an order-preserving encoding, but we only ever decode, never

@@ -23,6 +23,28 @@ void NodeContext::send_on_link(int link_index, const Message& msg) {
   scheduler_->enqueue_resolved(self_, inc.neighbor, inc.edge, slot, msg);
 }
 
+void NodeContext::send_words_on_link(int link_index, std::uint32_t tag,
+                                     std::span<const std::uint64_t> words) {
+  LN_ASSERT_MSG(
+      link_index >= 0 && static_cast<size_t>(link_index) < links_.size(),
+      "link index out of range");
+  const Incidence& inc = links_[static_cast<size_t>(link_index)];
+  const std::uint32_t slot = network_->dir_slot(link_base_ + link_index);
+  scheduler_->enqueue_words(self_, inc.neighbor, inc.edge, slot, tag, words);
+}
+
+void NodeContext::broadcast_words(std::uint32_t tag,
+                                  std::span<const std::uint64_t> words) {
+  scheduler_->broadcast_words(self_, link_base_, links_, tag, words);
+}
+
+std::span<const std::uint64_t> NodeContext::payload(const Message& msg) const {
+  if (msg.ext_size == 0)
+    return {msg.words.data(), static_cast<size_t>(msg.size)};
+  return {scheduler_->deliver_words_.data() + msg.ext_offset,
+          static_cast<size_t>(msg.ext_size)};
+}
+
 Scheduler::Scheduler(const Network& network,
                      std::vector<std::unique_ptr<NodeProgram>> programs,
                      SchedulerOptions options)
@@ -47,7 +69,15 @@ void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
   const size_t base = static_cast<size_t>(edge) * 2;
   if (edge_load_[base] == 0 && edge_load_[base + 1] == 0)
     touched_edges_.push_back(edge);
-  ++edge_load_[dir_slot];
+  // A w-word message occupies ceil(w / kMaxWords) standard-message slots of
+  // the per-round edge budget (1 for every standard message, so the strict
+  // check and max_edge_load are unchanged for non-batched programs).
+  const int total = msg.total_words();
+  const std::uint32_t units =
+      total <= kMaxWords
+          ? 1u
+          : static_cast<std::uint32_t>((total + kMaxWords - 1) / kMaxWords);
+  edge_load_[dir_slot] += units;
   if (options_.strict_congest) {
     LN_ASSERT_MSG(edge_load_[dir_slot] <= 1,
                   "CONGEST violation: >1 message on an edge in one round");
@@ -62,7 +92,52 @@ void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
   stage_.push_back({to, {from, edge, msg}});
   ++in_flight_;
   ++stats_.messages;
-  stats_.words += msg.size;
+  stats_.words += static_cast<std::uint64_t>(total);
+}
+
+Message Scheduler::stage_batched_message(
+    std::uint32_t tag, std::span<const std::uint64_t> words) {
+  LN_ASSERT(words.size() <= kBatchChunkWords);
+  Message msg;
+  msg.tag = tag;
+  if (words.size() <= static_cast<size_t>(kMaxWords)) {
+    for (std::uint64_t w : words) msg.words[msg.size++] = w;
+  } else {
+    msg.ext_offset = static_cast<std::uint32_t>(stage_words_.size());
+    msg.ext_size = static_cast<std::uint16_t>(words.size());
+    if (stage_words_.size() + words.size() > stage_words_.capacity())
+      ++stats_.inbox_reallocs;
+    stage_words_.insert(stage_words_.end(), words.begin(), words.end());
+  }
+  return msg;
+}
+
+void Scheduler::enqueue_words(VertexId from, VertexId to, EdgeId edge,
+                              std::uint32_t dir_slot, std::uint32_t tag,
+                              std::span<const std::uint64_t> words) {
+  for (size_t off = 0; off == 0 || off < words.size();
+       off += kBatchChunkWords) {
+    const size_t len = std::min(words.size() - off, kBatchChunkWords);
+    enqueue_resolved(from, to, edge, dir_slot,
+                     stage_batched_message(tag, words.subspan(off, len)));
+  }
+}
+
+void Scheduler::broadcast_words(VertexId from, int link_base,
+                                std::span<const Incidence> links,
+                                std::uint32_t tag,
+                                std::span<const std::uint64_t> words) {
+  for (size_t off = 0; off == 0 || off < words.size();
+       off += kBatchChunkWords) {
+    const size_t len = std::min(words.size() - off, kBatchChunkWords);
+    const Message msg = stage_batched_message(tag, words.subspan(off, len));
+    for (size_t i = 0; i < links.size(); ++i) {
+      const Incidence& inc = links[i];
+      const std::uint32_t slot =
+          network_->dir_slot(link_base + static_cast<int>(i));
+      enqueue_resolved(from, inc.neighbor, inc.edge, slot, msg);
+    }
+  }
 }
 
 void Scheduler::flush_edge_loads() {
@@ -85,8 +160,11 @@ void Scheduler::deliver_stage() {
 
   // Flip the double buffer: last round's sends become this round's
   // deliveries, and the (empty, capacity-retaining) spent buffers become the
-  // fill side.
+  // fill side. Batched payloads flip with them: ext offsets assigned at
+  // stage time stay valid because the whole arena moves as one block.
   std::swap(stage_, deliver_buf_);
+  std::swap(stage_words_, deliver_words_);
+  stage_words_.clear();
   std::swap(current_mail_, mail_nodes_);
   for (VertexId v : current_mail_) has_mail_[static_cast<size_t>(v)] = 0;
 

@@ -79,6 +79,29 @@ class NodeContext {
   // iterate their links (floods, frontier announcements) should use this.
   void send_on_link(int link_index, const Message& msg);
 
+  // Batched fast path: queues one message carrying `words` on
+  // links()[link_index] (payloads wider than an arena record are split
+  // into in-order chunks of Scheduler::kBatchChunkWords). Up to kMaxWords
+  // words ride inline; longer payloads live in the scheduler's
+  // double-buffered word arena. The congestion window is charged
+  // ceil(words / kMaxWords) standard-message units, so strict_congest
+  // rejects any batch wider than one standard message and max_edge_load
+  // reports the honest bandwidth multiple of a relaxed run.
+  void send_words_on_link(int link_index, std::uint32_t tag,
+                          std::span<const std::uint64_t> words);
+
+  // Flood form of send_words_on_link: one batched message on EVERY link.
+  // The payload is written to the arena once and shared by all deg(v)
+  // messages (each still charged its full word count in CostStats), so a
+  // frontier broadcast costs one memcpy instead of deg(v).
+  void broadcast_words(std::uint32_t tag,
+                       std::span<const std::uint64_t> words);
+
+  // Full payload of a delivered message: the inline words for standard
+  // messages, the arena-resident span for batched ones. Valid only during
+  // the round the message was delivered in.
+  std::span<const std::uint64_t> payload(const Message& msg) const;
+
   // Local link index for `neighbor`, -1 if not adjacent. O(log deg);
   // programs sending repeatedly to a fixed neighbor (tree parent/children)
   // should resolve once and cache.
@@ -106,6 +129,12 @@ struct SchedulerOptions {
   // execution (deliveries, stats) is identical either way; this is the
   // reference mode tests compare against and benchmarks measure.
   bool full_sweep = false;
+  // Programs that support batched multi-word announcements (the bounded
+  // multi-source explorations of the doubling pipeline) fall back to their
+  // strictly CONGEST-legal one-item-per-round pipelined encoding when set
+  // — the determinism reference the batched fast path is tested against
+  // (identical tables and outputs; only the cost ledger differs).
+  bool legacy_unbatched = false;
 };
 
 class Scheduler {
@@ -119,6 +148,12 @@ class Scheduler {
 
   NodeProgram& program(VertexId v) { return *programs_[static_cast<size_t>(v)]; }
 
+  // Payloads wider than one arena record (ext_size is 16-bit) are split
+  // into chunks of this many words, each shipped as its own message and
+  // delivered in order. 65532 is the largest multiple of 6 below 2^16, so
+  // any framing of fixed tuples of ≤ 3 words survives the split intact.
+  static constexpr size_t kBatchChunkWords = 65532;
+
  private:
   friend class NodeContext;
 
@@ -130,6 +165,21 @@ class Scheduler {
 
   void enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
                         std::uint32_t dir_slot, const Message& msg);
+  // Builds the (possibly arena-backed) message for send_words_on_link and
+  // hands it to enqueue_resolved.
+  // Packs `words` (≤ kBatchChunkWords) into a Message — inline if they
+  // fit, else one arena block; the shared packing step of enqueue_words
+  // and broadcast_words.
+  Message stage_batched_message(std::uint32_t tag,
+                                std::span<const std::uint64_t> words);
+  void enqueue_words(VertexId from, VertexId to, EdgeId edge,
+                     std::uint32_t dir_slot, std::uint32_t tag,
+                     std::span<const std::uint64_t> words);
+  // One arena copy shared by all links of `from` (see
+  // NodeContext::broadcast_words).
+  void broadcast_words(VertexId from, int link_base,
+                       std::span<const Incidence> links, std::uint32_t tag,
+                       std::span<const std::uint64_t> words);
   // Folds the per-edge loads of the last send window into max_edge_load and
   // resets them (single owner of the touched_edges_ bookkeeping).
   void flush_edge_loads();
@@ -146,6 +196,8 @@ class Scheduler {
   // --- message arena (double-buffered flat inboxes) ---
   std::vector<Pending> stage_;          // sends of the current round
   std::vector<Pending> deliver_buf_;    // last round's sends being delivered
+  std::vector<std::uint64_t> stage_words_;    // batched payloads being filled
+  std::vector<std::uint64_t> deliver_words_;  // payloads being delivered
   std::vector<Delivery> arena_;         // deliveries grouped by recipient
   std::vector<std::uint32_t> inbox_start_;  // per-node arena offset
   std::vector<std::uint32_t> inbox_len_;    // per-node count; 0 unless mail

@@ -3,14 +3,53 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "core/nets.h"
 #include "graph/mst.h"
+#include "routines/approx_spt.h"
 #include "routines/bounded_multisource.h"
 #include "routines/hopset.h"
 #include "support/assert.h"
 
 namespace lightnet {
+
+namespace {
+
+// δ the pipeline instantiates Theorem 3 with (net covering radius ε·Δ/2).
+constexpr double kNetDelta = 0.5;
+
+// Filters the previous (finer) scale's net down to the new scale's
+// separation using the previous exploration's distance table: a point is
+// kept iff no already-kept point sits within `separation` of it. Pairs
+// absent from the table are > 2·Δ_prev apart, which is beyond `separation`
+// for every ε < 1, so the table is a complete witness.
+std::vector<VertexId> filter_seeds(
+    const std::vector<VertexId>& prev_net,
+    const BoundedMultiSourceResult& prev_explore, Weight separation,
+    std::vector<char>& kept_scratch) {
+  std::vector<VertexId> seeds;
+  seeds.reserve(prev_net.size());
+  std::fill(kept_scratch.begin(), kept_scratch.end(), 0);
+  for (VertexId p : prev_net) {
+    bool blocked = false;
+    for (const BoundedSourceEntry& e :
+         prev_explore.table[static_cast<size_t>(p)]) {
+      if (e.source != p && kept_scratch[static_cast<size_t>(e.source)] &&
+          e.dist <= separation) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      kept_scratch[static_cast<size_t>(p)] = 1;
+      seeds.push_back(p);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
 
 DoublingSpannerResult build_doubling_spanner(
     const WeightedGraph& g, const DoublingSpannerParams& params) {
@@ -34,6 +73,12 @@ DoublingSpannerResult build_doubling_spanner(
   // (1+ε̂)(1+4·(ε/2))Δ ≤ 2Δ, which ε̂ ≤ 1/8 guarantees for ε < 1.
   const double explore_eps = std::min(eps, 0.125);
 
+  // Hoisted across all scales: one rounded graph + Network per metric
+  // (explorations at ε̂, nets at δ). The original pipeline rebuilt both per
+  // scale (and the net path once per iteration).
+  const RoundedSubstrate explore_substrate(g, explore_eps);
+  const RoundedSubstrate net_substrate(g, kNetDelta);
+
   Hopset hopset;
   int hop_diameter = 0;
   if (params.use_hopset) {
@@ -46,6 +91,15 @@ DoublingSpannerResult build_doubling_spanner(
   }
 
   std::vector<EdgeId> spanner;
+  std::vector<VertexId> prev_net;
+  BoundedMultiSourceResult prev_explore;
+  Weight prev_explore_radius = 0.0;
+  std::vector<char> kept_scratch(static_cast<size_t>(n), 0);
+  std::vector<std::uint32_t> stamp(static_cast<size_t>(n), 0);
+  std::vector<std::uint32_t> source_idx(static_cast<size_t>(n), 0);
+  std::vector<std::uint32_t> pair_count, pair_fill;
+  std::vector<VertexId> pair_targets;
+  std::uint32_t epoch = 0;
   int scale_index = 0;
   for (Weight scale = min_w; scale <= 2.0 * mst_w;
        scale *= (1.0 + eps), ++scale_index) {
@@ -57,53 +111,106 @@ DoublingSpannerResult build_doubling_spanner(
     // (ε·Δ/2, 2ε·Δ/9)-net.
     NetParams net_params;
     net_params.radius = eps * scale / 3.0;
-    net_params.delta = 0.5;
+    net_params.delta = kNetDelta;
+    // Separation the new scale's net must keep: Δ_net/(1+δ) = 2ε·Δ/9.
+    const double separation = 2.0 * eps * scale / 9.0;
+    // Seeds are thinned at the *covering* radius ε·Δ/2 (not the separation
+    // bound): that matches the spacing a cold-start net converges to, so
+    // seeded nets stay as small as unseeded ones; anything the sparser seed
+    // set fails to cover is picked up by the iterations. ε·Δ/2 > 2ε·Δ/9
+    // keeps every separation certificate intact.
+    const double seed_spacing = (1.0 + kNetDelta) * net_params.radius;
+    const std::vector<VertexId> seeds =
+        prev_net.empty()
+            ? std::vector<VertexId>{}
+            : filter_seeds(prev_net, prev_explore, seed_spacing,
+                           kept_scratch);
     const NetResult net = build_net(
         g, net_params,
-        ctx.child(0x5343414cULL + static_cast<std::uint64_t>(scale_index)));
+        ctx.child(0x5343414cULL + static_cast<std::uint64_t>(scale_index)),
+        seeds, &net_substrate);
     result.ledger.absorb(net.ledger,
                          "scale-" + std::to_string(scale_index) + "-net");
     diag.net_size = net.net.size();
     diag.net_iterations = net.iterations;
+    diag.net_seed_points = net.seed_points;
+    diag.net_active_after_seeding = net.active_after_seeding;
 
     // Claim 7 certificate: an r-separated set has ≤ ⌈2L/r⌉ points.
-    const double separation = (2.0 * eps * scale / 9.0) / 1.0;
     LN_ASSERT_MSG(
         static_cast<double>(net.net.size()) <=
             std::ceil(2.0 * mst_w / separation) + 1.0,
         "Claim 7 violated: net too large for its separation");
 
-    // 2Δ-bounded multi-source (1+ε̂)-approximate explorations.
+    // 2Δ-bounded multi-source (1+ε̂)-approximate explorations, warm-started
+    // from the previous scale's tables: surviving interior records are
+    // already at their fixed point, so only the boundary shell re-announces
+    // and new net points run fresh explorations. Tables are bit-identical
+    // to a cold run at this radius (see bounded_multisource.h).
     BoundedMultiSourceResult explore =
         params.use_hopset
-            ? bounded_multi_source_paths_hopset(g, hopset, net.net,
-                                                2.0 * scale, explore_eps,
-                                                hop_diameter)
-            : bounded_multi_source_paths(g, net.net, 2.0 * scale,
-                                         explore_eps, ctx.sched);
+            ? bounded_multi_source_paths_hopset_on(explore_substrate.rounded,
+                                                   hopset, net.net,
+                                                   2.0 * scale, hop_diameter)
+            : bounded_multi_source_paths_incremental(
+                  explore_substrate, net.net, 2.0 * scale,
+                  prev_explore_radius, std::move(prev_explore), ctx.sched);
     result.ledger.add("scale-" + std::to_string(scale_index) + "-explore",
                       explore.cost);
     diag.max_sources_per_vertex = explore.max_sources_per_vertex;
+    diag.explore_records_inherited = explore.records_inherited;
+    diag.explore_shell_announcements = explore.shell_announcements;
 
     // Connect every net pair discovered within the bound via its reported
-    // path.
-    std::vector<char> is_net(static_cast<size_t>(n), 0);
-    for (VertexId v : net.net) is_net[static_cast<size_t>(v)] = 1;
-    for (VertexId t : net.net) {
-      for (const BoundedSourceEntry& entry :
+    // path. The discovered pairs with target t are exactly the entries of
+    // t's source table (sources ARE the net points), so scanning each net
+    // target's table visits every pair once — no O(net²) pair probing. All
+    // extractions for one source share one memoization epoch: path prefixes
+    // near the source are walked once per scale.
+    // Pass 1 enumerates the discovered pairs straight off the tables (the
+    // pairs with target t are exactly the entries of t's source table —
+    // sources ARE the net points), grouped by source via counting sort.
+    // Pass 2 then walks all of one source's targets consecutively under one
+    // memoization epoch: consecutive walks are what makes the shared stamp
+    // array effective (interleaving sources would overwrite each other's
+    // stamps and re-walk shared prefixes).
+    const size_t net_size = net.net.size();
+    for (size_t i = 0; i < net_size; ++i)
+      source_idx[static_cast<size_t>(net.net[i])] =
+          static_cast<std::uint32_t>(i);
+    pair_count.assign(net_size + 1, 0);
+    for (VertexId t : net.net)
+      for (const BoundedSourceEntry& e :
            explore.table[static_cast<size_t>(t)]) {
-        if (entry.source >= t) continue;  // each pair once
-        if (!is_net[static_cast<size_t>(entry.source)]) continue;
-        const std::vector<EdgeId> path = extract_path(
-            explore, params.use_hopset ? &hopset : nullptr, t, entry.source);
-        LN_ASSERT_MSG(!path.empty() || t == entry.source,
-                      "discovered pair has no extractable path");
-        spanner.insert(spanner.end(), path.begin(), path.end());
+        if (e.source >= t) break;  // entries ascend by source; each pair once
+        ++pair_count[source_idx[static_cast<size_t>(e.source)] + 1];
+      }
+    for (size_t i = 1; i <= net_size; ++i) pair_count[i] += pair_count[i - 1];
+    pair_targets.resize(pair_count[net_size]);
+    pair_fill.assign(pair_count.begin(), pair_count.end() - 1);
+    for (VertexId t : net.net)
+      for (const BoundedSourceEntry& e :
+           explore.table[static_cast<size_t>(t)]) {
+        if (e.source >= t) break;
+        pair_targets[pair_fill[source_idx[static_cast<size_t>(e.source)]]++] =
+            t;
+      }
+    for (size_t i = 0; i < net_size; ++i) {
+      ++epoch;
+      const VertexId s = net.net[i];
+      for (size_t j = pair_count[i]; j < pair_count[i + 1]; ++j) {
+        const bool found = collect_path_edges(
+            explore, params.use_hopset ? &hopset : nullptr, pair_targets[j],
+            s, stamp, epoch, spanner);
+        LN_ASSERT_MSG(found, "discovered pair has no extractable path");
         ++diag.pairs_connected;
       }
     }
     result.scales.push_back(diag);
     if (net.net.size() <= 1 && scale > mst_w) break;  // single point covers
+    prev_net = net.net;
+    prev_explore = std::move(explore);
+    prev_explore_radius = 2.0 * scale;
   }
 
   result.spanner = dedupe_edge_ids(std::move(spanner));

@@ -9,6 +9,18 @@
 // (net size vs. Claim 7's ⌈2L/r⌉, and max_sources_per_vertex vs. the
 // packing bound).
 //
+// Pipeline (PR 5): the rounded graphs and communication Networks for the
+// explorations and the net substrate are built once and reused across all
+// O(log_{1+ε} W) scales; each scale's net is seeded from the previous
+// (finer) net — filtered down to the new scale's separation using the
+// previous exploration's distance table — so the LE-list iterations only
+// process the fringe the seeds fail to cover; explorations run the batched
+// multi-source encoding (see routines/bounded_multisource.h) unless
+// RunContext::sched.legacy_unbatched pins the pre-batching legacy mode;
+// and per-scale path extraction memoizes shared prefixes per source. The
+// spanner edge set is bit-identical between the batched and legacy
+// encodings.
+//
 // use_hopset switches the explorations to the hopset-accelerated variant
 // (§7.1), bounding Bellman-Ford iterations on deep graphs.
 #pragma once
@@ -37,6 +49,14 @@ struct ScaleDiagnostics {
   size_t pairs_connected = 0;
   size_t max_sources_per_vertex = 0;  // packing certificate
   int net_iterations = 0;
+  // Cross-scale reuse: how much of this scale's net was inherited from the
+  // previous scale, and how small the seeded fringe was.
+  size_t net_seed_points = 0;
+  size_t net_active_after_seeding = 0;
+  // Exploration reuse: records carried over from the previous scale's fixed
+  // point, and how few re-announced (the boundary shell).
+  size_t explore_records_inherited = 0;
+  size_t explore_shell_announcements = 0;
 };
 
 struct DoublingSpannerResult {

@@ -5,6 +5,7 @@
 
 #include "core/nets.h"
 #include "graph/mst.h"
+#include "routines/approx_spt.h"
 #include "support/assert.h"
 
 namespace lightnet {
@@ -29,6 +30,10 @@ MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
   const Weight min_w = g.min_edge_weight();
   double separation = min_w / (2.0 * alpha);
 
+  // One rounded graph + Network shared by every scale's net (the δ slack
+  // is scale-independent).
+  const RoundedSubstrate net_substrate(g, delta);
+
   int scale_index = 0;
   for (;; separation *= 2.0, ++scale_index) {
     NetParams params;
@@ -36,7 +41,8 @@ MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
     params.delta = delta;
     const NetResult net = build_net(
         g, params,
-        ctx.child(0x505349ULL + static_cast<std::uint64_t>(scale_index)));
+        ctx.child(0x505349ULL + static_cast<std::uint64_t>(scale_index)), {},
+        &net_substrate);
     result.ledger.absorb(net.ledger,
                          "scale-" + std::to_string(scale_index));
     result.scales.push_back({separation, net.net.size()});

@@ -8,14 +8,26 @@
 // deactivates everything within (1+δ)·Δ. W.h.p. O(log n) iterations
 // suffice (the paper's active-pair halving argument); the iteration count
 // is returned so tests and benches can check it.
+//
+// Cross-scale reuse (the doubling pipeline): a caller that already holds a
+// coarser net may pass it as `seeds` — the seeds join the net up front and
+// their (1+δ)·Δ balls are deactivated before the first iteration, so the
+// LE-list iterations only process the leftover fringe. Covering is
+// unaffected (the algorithm still runs until everything is deactivated);
+// separation among seeds is the caller's contract (the doubling pipeline
+// filters the previous net by the new scale's separation first). The
+// shared RoundedSubstrate (H + Network at this δ) can likewise be hoisted
+// out of a scale loop.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "api/run_context.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
+#include "routines/approx_spt.h"
 
 namespace lightnet {
 
@@ -32,6 +44,8 @@ struct NetResult {
   std::vector<VertexId> net;
   int iterations = 0;
   size_t max_le_list_size = 0;  // [KKM+12] O(log n) bound, measured
+  size_t seed_points = 0;           // seeds adopted before iteration 0
+  size_t active_after_seeding = 0;  // fringe left for the iterations
   congest::RoundLedger ledger;
 };
 
@@ -39,6 +53,14 @@ struct NetResult {
 // under ctx.sched, per-phase costs mirrored into ctx.ledger_sink.
 NetResult build_net(const WeightedGraph& g, const NetParams& params,
                     const api::RunContext& ctx);
+
+// Seeded / substrate-reusing entry point. `seeds` pre-join the net (empty
+// = cold start); `substrate` must be the (1+params.delta)-rounding of `g`
+// (nullptr = build locally, still hoisted out of the iteration loop).
+NetResult build_net(const WeightedGraph& g, const NetParams& params,
+                    const api::RunContext& ctx,
+                    std::span<const VertexId> seeds,
+                    const RoundedSubstrate* substrate);
 
 // Back-compat wrapper: RunContext built from params.seed.
 NetResult build_net(const WeightedGraph& g, const NetParams& params);

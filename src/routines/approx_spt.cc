@@ -49,12 +49,9 @@ ApproxSptResult build_approx_spt(const WeightedGraph& g, VertexId root,
   return result;
 }
 
-ApproxSptForestResult build_approx_spt_forest(
-    const WeightedGraph& g, std::span<const VertexId> sources, double epsilon,
-    congest::SchedulerOptions sched) {
-  const WeightedGraph rounded = round_weights_up(g, epsilon);
-  congest::BellmanFordResult bf =
-      congest::distributed_bellman_ford(rounded, sources, {}, sched);
+namespace {
+
+ApproxSptForestResult forest_from_bf(congest::BellmanFordResult bf) {
   ApproxSptForestResult result;
   result.cost = bf.cost;
   result.dist = std::move(bf.dist);
@@ -62,6 +59,24 @@ ApproxSptForestResult build_approx_spt_forest(
   result.parent_edge = std::move(bf.parent_edge);
   result.owner = std::move(bf.owner);
   return result;
+}
+
+}  // namespace
+
+ApproxSptForestResult build_approx_spt_forest(
+    const WeightedGraph& g, std::span<const VertexId> sources, double epsilon,
+    congest::SchedulerOptions sched) {
+  const RoundedSubstrate substrate(g, epsilon);
+  return build_approx_spt_forest(substrate, sources, sched);
+}
+
+ApproxSptForestResult build_approx_spt_forest(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    congest::SchedulerOptions sched, Weight distance_bound) {
+  congest::BellmanFordOptions options;
+  options.distance_bound = distance_bound;
+  return forest_from_bf(congest::distributed_bellman_ford(
+      substrate.network, sources, options, sched));
 }
 
 }  // namespace lightnet

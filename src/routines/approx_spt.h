@@ -8,14 +8,59 @@
 // Eq. (1) by construction; ε = 0 degenerates to the exact SPT. Rounds are
 // measured, not assumed — EXPERIMENTS.md reports them next to the paper's
 // Õ((√n + D)/poly ε) claim for [BKKL17].
+//
+// RoundedSubstrate: rounding the weights and indexing the communication
+// Network are pure functions of (graph, ε). Multi-phase algorithms (the
+// doubling pipeline runs O(log W) scales, the net algorithm O(log n)
+// iterations) build the substrate once and thread it through every kernel
+// execution instead of re-rounding and re-indexing per phase.
 #pragma once
 
+#include <algorithm>
 #include <span>
 
 #include "congest/bellman_ford.h"
 #include "graph/graph.h"
+#include "graph/shortest_paths.h"
 
 namespace lightnet {
+
+// The weight-rounding used throughout: each edge weight rounded up to the
+// next power of (1+epsilon). Exposed for LE lists (§6 computes LE lists
+// w.r.t. a (1+δ)-approximation H of G — we use the same H).
+WeightedGraph round_weights_up(const WeightedGraph& g, double epsilon);
+
+// A (1+ε)-rounded copy of a graph plus the congest::Network over it —
+// everything a kernel execution on the rounded metric needs, built once and
+// reused across phases. Immovable: `network` points into `rounded`.
+struct RoundedSubstrate {
+  double epsilon;
+  WeightedGraph rounded;
+  congest::Network network;
+  // Per-vertex max/min incident rounded weight. Max drives the shell test
+  // of the incremental explorations (can a record at v reach past a
+  // radius?); min drives their sender-side pruning (a record whose dist +
+  // min incident weight exceeds the radius cannot improve ANY neighbor, so
+  // announcing it would only produce rejected offers).
+  std::vector<Weight> max_incident_weight;
+  std::vector<Weight> min_incident_weight;
+
+  RoundedSubstrate(const WeightedGraph& g, double eps)
+      : epsilon(eps), rounded(round_weights_up(g, eps)), network(rounded) {
+    const size_t n = static_cast<size_t>(rounded.num_vertices());
+    max_incident_weight.assign(n, 0.0);
+    min_incident_weight.assign(n, kInfiniteDistance);
+    for (const Edge& e : rounded.edges()) {
+      const size_t u = static_cast<size_t>(e.u), v = static_cast<size_t>(e.v);
+      max_incident_weight[u] = std::max(max_incident_weight[u], e.w);
+      max_incident_weight[v] = std::max(max_incident_weight[v], e.w);
+      min_incident_weight[u] = std::min(min_incident_weight[u], e.w);
+      min_incident_weight[v] = std::min(min_incident_weight[v], e.w);
+    }
+  }
+  RoundedSubstrate(const RoundedSubstrate&) = delete;
+  RoundedSubstrate& operator=(const RoundedSubstrate&) = delete;
+};
 
 struct ApproxSptResult {
   RootedTree tree;            // parent weights are *original* edge weights
@@ -43,8 +88,14 @@ ApproxSptForestResult build_approx_spt_forest(
     const WeightedGraph& g, std::span<const VertexId> sources, double epsilon,
     congest::SchedulerOptions sched = {});
 
-// The weight-rounding used above, exposed for LE lists (§6 computes LE
-// lists w.r.t. a (1+δ)-approximation H of G — we use the same H).
-WeightedGraph round_weights_up(const WeightedGraph& g, double epsilon);
+// Substrate-reusing variant: identical forest (no per-call rounding or
+// Network construction). `distance_bound` prunes the exploration ball —
+// distances ≤ the bound are exact, farther vertices stay at infinity;
+// consumers that only test "dist ≤ r" pass r and skip the rest of the
+// graph's flood.
+ApproxSptForestResult build_approx_spt_forest(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    congest::SchedulerOptions sched = {},
+    Weight distance_bound = kInfiniteDistance);
 
 }  // namespace lightnet

@@ -1,12 +1,10 @@
 #include "routines/bounded_multisource.h"
 
 #include <algorithm>
-#include <map>
 #include <memory>
-#include <set>
+#include <utility>
 
 #include "congest/scheduler.h"
-#include "routines/approx_spt.h"
 #include "support/assert.h"
 
 namespace lightnet {
@@ -18,49 +16,124 @@ using congest::Message;
 using congest::NodeContext;
 using congest::NodeProgram;
 
-constexpr std::uint32_t kTagBounded = 40;
+constexpr std::uint32_t kTagBounded = 40;       // legacy: one (source, dist)
+constexpr std::uint32_t kTagBoundedBatch = 41;  // batched (source, dist) pairs
+
+using SourceTable = std::vector<BoundedSourceEntry>;
+
+SourceTable::iterator table_find(SourceTable& table, VertexId source) {
+  return std::lower_bound(table.begin(), table.end(), source,
+                          [](const BoundedSourceEntry& e, VertexId s) {
+                            return e.source < s;
+                          });
+}
+
+// Relaxation over a G-edge with canonical parent records: strict distance
+// improvements replace the record (and report true so the caller can queue
+// a re-announcement), equal-distance offers only canonicalize the parent
+// toward the smallest (parent, edge) pair. The final table is therefore the
+// pointwise minimum over all offers — independent of arrival order, hence
+// bit-identical across the batched/legacy encodings and scheduler modes.
+// `hint` is a table index the search starts from (and is advanced to the
+// record's position): callers relaxing a source-ascending batch pass one
+// cursor across the whole batch, shrinking each lookup's range.
+bool relax_edge(SourceTable& table, size_t& hint, VertexId source,
+                Weight cand, VertexId from, EdgeId edge) {
+  auto it = std::lower_bound(
+      table.begin() + static_cast<std::ptrdiff_t>(hint), table.end(), source,
+      [](const BoundedSourceEntry& e, VertexId s) { return e.source < s; });
+  hint = static_cast<size_t>(it - table.begin());
+  if (it == table.end() || it->source != source) {
+    BoundedSourceEntry e;
+    e.source = source;
+    e.dist = cand;
+    e.parent = from;
+    e.parent_edge = edge;
+    table.insert(it, e);
+    return true;
+  }
+  if (cand < it->dist) {
+    it->dist = cand;
+    it->parent = from;
+    it->parent_edge = edge;
+    it->hopset_edge = -1;
+    it->hopset_forward = true;
+    return true;
+  }
+  if (cand == it->dist && it->hopset_edge < 0 &&
+      (from < it->parent ||
+       (from == it->parent && edge < it->parent_edge))) {
+    it->parent = from;
+    it->parent_edge = edge;
+  }
+  return false;
+}
 
 class BoundedProgram final : public NodeProgram {
  public:
-  BoundedProgram(VertexId self, bool is_source, Weight radius,
-                 std::vector<std::map<VertexId, BoundedSourceEntry>>& state)
-      : self_(self), radius_(radius), state_(state) {
-    if (is_source) {
-      BoundedSourceEntry e;
-      e.source = self_;
-      e.dist = 0.0;
-      state_[static_cast<size_t>(self_)][self_] = e;
-      pending_.insert(self_);
-    }
-  }
+  // `initial_pending`: sorted source ids announced in round 0 — {self} for
+  // a cold source, the boundary-shell records for a warm start.
+  // `min_incident`: smallest incident rounded weight (sender-side pruning).
+  BoundedProgram(VertexId self, Weight radius, Weight min_incident,
+                 bool batched, std::vector<SourceTable>& state,
+                 std::vector<VertexId> initial_pending)
+      : self_(self),
+        radius_(radius),
+        min_incident_(min_incident),
+        batched_(batched),
+        state_(state),
+        pending_(std::move(initial_pending)) {}
 
   void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
-    auto& table = state_[static_cast<size_t>(self_)];
+    SourceTable& table = state_[static_cast<size_t>(self_)];
     for (const Delivery& d : inbox) {
-      LN_ASSERT(d.msg.tag == kTagBounded);
-      const VertexId source = static_cast<VertexId>(d.msg.word(0));
-      const Weight cand = Message::decode_weight(d.msg.word(1)) +
-                          ctx.network().graph().edge(d.edge).w;
-      if (cand > radius_) continue;
-      auto it = table.find(source);
-      if (it == table.end() || cand < it->second.dist) {
-        BoundedSourceEntry e;
-        e.source = source;
-        e.dist = cand;
-        e.parent = d.from;
-        e.parent_edge = d.edge;
-        table[source] = e;
-        pending_.insert(source);
+      LN_ASSERT(d.msg.tag == kTagBounded || d.msg.tag == kTagBoundedBatch);
+      const Weight w = ctx.network().graph().edge(d.edge).w;
+      const std::span<const std::uint64_t> words = ctx.payload(d.msg);
+      // Offers in one batch ascend by source id (announcers pack their
+      // sorted pending list), so each delivery is a sorted merge against
+      // the sorted table: the search range only shrinks as `hint` advances.
+      size_t hint = 0;
+      for (size_t i = 0; i + 1 < words.size(); i += 2) {
+        const VertexId source = static_cast<VertexId>(words[i]);
+        const Weight cand = Message::decode_weight(words[i + 1]) + w;
+        if (cand > radius_) continue;
+        if (relax_edge(table, hint, source, cand, d.from, d.edge))
+          mark_pending(source);
       }
     }
-    if (!pending_.empty()) {
-      const VertexId source = *pending_.begin();
+    if (pending_.empty()) return;
+    const int degree = static_cast<int>(ctx.links().size());
+    if (batched_) {
+      // Announce every improved source at once, one multi-word flood whose
+      // payload all deg(v) messages share. A record whose dist + min
+      // incident weight exceeds the radius cannot improve any neighbor
+      // (every offer would be rejected by the radius check), so it is
+      // pruned here instead of flooded — the ball's boundary shell stays
+      // silent.
+      words_buf_.clear();
+      size_t hint = 0;
+      for (VertexId s : pending_) {
+        const auto it = std::lower_bound(
+            table.begin() + static_cast<std::ptrdiff_t>(hint), table.end(), s,
+            [](const BoundedSourceEntry& e, VertexId src) {
+              return e.source < src;
+            });
+        hint = static_cast<size_t>(it - table.begin());
+        if (it->dist + min_incident_ > radius_) continue;
+        words_buf_.push_back(static_cast<std::uint64_t>(s));
+        words_buf_.push_back(Message::encode_weight(it->dist));
+      }
+      pending_.clear();
+      if (!words_buf_.empty()) ctx.broadcast_words(kTagBoundedBatch, words_buf_);
+    } else {
+      // Legacy pipelining: one source per round, smallest id first (the
+      // std::set iteration order of the original implementation).
+      const VertexId s = pending_.front();
       pending_.erase(pending_.begin());
-      const BoundedSourceEntry& e = table.at(source);
-      const Message msg(kTagBounded,
-                        {static_cast<std::uint64_t>(source),
-                         Message::encode_weight(e.dist)});
-      const int degree = static_cast<int>(ctx.links().size());
+      const auto it = table_find(table, s);
+      const Message msg(kTagBounded, {static_cast<std::uint64_t>(s),
+                                      Message::encode_weight(it->dist)});
       for (int i = 0; i < degree; ++i) ctx.send_on_link(i, msg);
     }
   }
@@ -68,56 +141,162 @@ class BoundedProgram final : public NodeProgram {
   bool quiescent() const override { return pending_.empty(); }
 
  private:
+  void mark_pending(VertexId source) {
+    auto it = std::lower_bound(pending_.begin(), pending_.end(), source);
+    if (it == pending_.end() || *it != source) pending_.insert(it, source);
+  }
+
   VertexId self_;
   Weight radius_;
-  std::vector<std::map<VertexId, BoundedSourceEntry>>& state_;
-  std::set<VertexId> pending_;
+  Weight min_incident_;
+  bool batched_;
+  std::vector<SourceTable>& state_;
+  std::vector<VertexId> pending_;  // sorted source ids awaiting announcement
+  std::vector<std::uint64_t> words_buf_;
 };
 
-BoundedMultiSourceResult finalize_tables(
-    std::vector<std::map<VertexId, BoundedSourceEntry>>& state) {
-  BoundedMultiSourceResult result;
-  result.table.resize(state.size());
-  for (size_t v = 0; v < state.size(); ++v) {
-    for (auto& [source, entry] : state[v])
-      result.table[v].push_back(entry);
+void finalize_tables(BoundedMultiSourceResult& result) {
+  for (const SourceTable& table : result.table)
     result.max_sources_per_vertex =
-        std::max(result.max_sources_per_vertex, result.table[v].size());
-  }
-  return result;
+        std::max(result.max_sources_per_vertex, table.size());
 }
 
-const BoundedSourceEntry* find_entry(const BoundedMultiSourceResult& result,
-                                     VertexId v, VertexId source) {
-  for (const BoundedSourceEntry& e :
-       result.table[static_cast<size_t>(v)])
-    if (e.source == source) return &e;
-  return nullptr;
+}  // namespace
+
+const BoundedSourceEntry* find_source_entry(
+    const BoundedMultiSourceResult& result, VertexId v, VertexId source) {
+  const SourceTable& table = result.table[static_cast<size_t>(v)];
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), source,
+      [](const BoundedSourceEntry& e, VertexId s) { return e.source < s; });
+  if (it == table.end() || it->source != source) return nullptr;
+  return &*it;
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths(
+    const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
+    double epsilon, congest::SchedulerOptions sched) {
+  const RoundedSubstrate substrate(g, epsilon);
+  return bounded_multi_source_paths(substrate, sources, radius, sched);
+}
+
+namespace {
+
+// Shared scheduler harness of the cold and incremental entry points:
+// `result.table` is pre-seeded, `pending0[v]` is what v announces first.
+void run_bounded_kernel(const RoundedSubstrate& substrate, Weight radius,
+                        std::vector<std::vector<VertexId>> pending0,
+                        congest::SchedulerOptions sched,
+                        BoundedMultiSourceResult& result) {
+  const int n = substrate.rounded.num_vertices();
+  const bool batched = !sched.legacy_unbatched;
+  // The batched encoding is multi-word by design; its honest bandwidth
+  // lives in CostStats::words and max_edge_load, so the one-message strict
+  // check must not abort it. Legacy mode keeps whatever the caller set.
+  if (batched) sched.strict_congest = false;
+
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    programs.push_back(std::make_unique<BoundedProgram>(
+        v, radius, substrate.min_incident_weight[static_cast<size_t>(v)],
+        batched, result.table, std::move(pending0[static_cast<size_t>(v)])));
+  congest::Scheduler scheduler(substrate.network, std::move(programs), sched);
+  result.cost = scheduler.run();
+  finalize_tables(result);
 }
 
 }  // namespace
 
 BoundedMultiSourceResult bounded_multi_source_paths(
-    const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
-    double epsilon, congest::SchedulerOptions sched) {
-  const WeightedGraph h = round_weights_up(g, epsilon);
-  std::vector<char> is_source(static_cast<size_t>(g.num_vertices()), 0);
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, congest::SchedulerOptions sched) {
+  const WeightedGraph& h = substrate.rounded;
+  const int n = h.num_vertices();
+  BoundedMultiSourceResult result;
+  result.table.resize(static_cast<size_t>(n));
+  std::vector<std::vector<VertexId>> pending0(static_cast<size_t>(n));
   for (VertexId s : sources) {
-    LN_REQUIRE(s >= 0 && s < g.num_vertices(), "source out of range");
+    LN_REQUIRE(s >= 0 && s < n, "source out of range");
+    SourceTable& table = result.table[static_cast<size_t>(s)];
+    if (table.empty()) {
+      BoundedSourceEntry e;
+      e.source = s;
+      e.dist = 0.0;
+      table.push_back(e);
+      pending0[static_cast<size_t>(s)].push_back(s);
+    }
+  }
+  run_bounded_kernel(substrate, radius, std::move(pending0), sched, result);
+  return result;
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths_incremental(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, Weight prev_radius, BoundedMultiSourceResult prev,
+    congest::SchedulerOptions sched) {
+  if (prev.table.empty())
+    return bounded_multi_source_paths(substrate, sources, radius, sched);
+  const WeightedGraph& h = substrate.rounded;
+  const int n = h.num_vertices();
+  LN_REQUIRE(prev.table.size() == static_cast<size_t>(n),
+             "previous tables belong to a different graph");
+  LN_REQUIRE(prev_radius <= radius,
+             "incremental exploration can only grow the radius");
+
+  std::vector<char> is_source(static_cast<size_t>(n), 0);
+  for (VertexId s : sources) {
+    LN_REQUIRE(s >= 0 && s < n, "source out of range");
     is_source[static_cast<size_t>(s)] = 1;
   }
-  std::vector<std::map<VertexId, BoundedSourceEntry>> state(
-      static_cast<size_t>(g.num_vertices()));
-  congest::Network net(h);
-  std::vector<std::unique_ptr<NodeProgram>> programs;
-  programs.reserve(static_cast<size_t>(g.num_vertices()));
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
-    programs.push_back(std::make_unique<BoundedProgram>(
-        v, is_source[static_cast<size_t>(v)] != 0, radius, state));
-  congest::Scheduler scheduler(net, std::move(programs), sched);
-  const congest::CostStats cost = scheduler.run();
-  BoundedMultiSourceResult result = finalize_tables(state);
-  result.cost = cost;
+
+  BoundedMultiSourceResult result;
+  result.table = std::move(prev.table);
+
+  // Drop records of retired sources (each dropped record is one tombstone
+  // word of the dead source's flood — charged below).
+  std::uint64_t pruned = 0;
+  for (SourceTable& table : result.table) {
+    const size_t before = table.size();
+    std::erase_if(table, [&is_source](const BoundedSourceEntry& e) {
+      return !is_source[static_cast<size_t>(e.source)];
+    });
+    pruned += before - table.size();
+  }
+
+  // Round-0 announcements: the boundary shell — records that could reach
+  // past the previous radius over some incident link, i.e. exactly the
+  // offers the previous run's radius check pruned — plus new sources.
+  std::vector<std::vector<VertexId>> pending0(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const Weight reach = substrate.max_incident_weight[static_cast<size_t>(v)];
+    result.records_inherited += result.table[static_cast<size_t>(v)].size();
+    for (const BoundedSourceEntry& e : result.table[static_cast<size_t>(v)])
+      if (e.dist + reach > prev_radius) {
+        pending0[static_cast<size_t>(v)].push_back(e.source);
+        ++result.shell_announcements;
+      }
+  }
+  for (VertexId s : sources) {
+    SourceTable& table = result.table[static_cast<size_t>(s)];
+    const auto it = table_find(table, s);
+    if (it == table.end() || it->source != s) {
+      BoundedSourceEntry e;
+      e.source = s;
+      e.dist = 0.0;
+      table.insert(it, e);
+      std::vector<VertexId>& p = pending0[static_cast<size_t>(s)];
+      const auto pit = std::lower_bound(p.begin(), p.end(), s);
+      if (pit == p.end() || *pit != s) p.insert(pit, s);
+    }
+  }
+
+  run_bounded_kernel(substrate, radius, std::move(pending0), sched, result);
+  if (pruned > 0) {
+    result.cost.rounds += 1;
+    result.cost.messages += pruned;
+    result.cost.words += pruned;
+  }
   return result;
 }
 
@@ -126,82 +305,118 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset(
     std::span<const VertexId> sources, Weight radius, double epsilon,
     int hop_diameter) {
   const WeightedGraph h = round_weights_up(g, epsilon);
-  std::vector<std::map<VertexId, BoundedSourceEntry>> state(
-      static_cast<size_t>(g.num_vertices()));
+  return bounded_multi_source_paths_hopset_on(h, hopset, sources, radius,
+                                              hop_diameter);
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
+    const WeightedGraph& h, const Hopset& hopset,
+    std::span<const VertexId> sources, Weight radius, int hop_diameter) {
+  const size_t n = static_cast<size_t>(h.num_vertices());
+  BoundedMultiSourceResult result;
+  result.table.resize(n);
+
+  // Per-hub incidence over the hopset's virtual edges (the forward flag
+  // records which endpoint the stored u→v path leaves from).
+  struct HopsetIncidence {
+    int edge;
+    bool forward;
+  };
+  std::vector<std::vector<HopsetIncidence>> hopset_inc(n);
+  for (size_t i = 0; i < hopset.edges.size(); ++i) {
+    const HopsetEdge& he = hopset.edges[i];
+    hopset_inc[static_cast<size_t>(he.u)].push_back(
+        {static_cast<int>(i), true});
+    hopset_inc[static_cast<size_t>(he.v)].push_back(
+        {static_cast<int>(i), false});
+  }
+
+  // Delta lists: only records whose distance changed in the previous
+  // iteration relax their incident edges — no per-iteration clone of the
+  // whole vector-of-tables state.
+  std::vector<std::pair<VertexId, VertexId>> dirty;  // (vertex, source)
   for (VertexId s : sources) {
+    LN_REQUIRE(s >= 0 && s < h.num_vertices(), "source out of range");
     BoundedSourceEntry e;
     e.source = s;
     e.dist = 0.0;
-    state[static_cast<size_t>(s)][s] = e;
+    SourceTable& table = result.table[static_cast<size_t>(s)];
+    const auto it = table_find(table, s);
+    if (it == table.end() || it->source != s) {
+      table.insert(it, e);
+      dirty.emplace_back(s, s);
+    }
   }
+  std::sort(dirty.begin(), dirty.end());
 
   congest::CostStats cost;
+  std::vector<std::pair<VertexId, VertexId>> next_dirty;
   const int iterations = hopset.hop_limit * 3;
-  for (int it = 0; it < iterations; ++it) {
-    bool changed = false;
+  for (int it = 0; it < iterations && !dirty.empty(); ++it) {
+    next_dirty.clear();
     std::uint64_t hub_updates = 0;
-    // One synchronous relaxation over G's edges (1 round, ≤ 2m messages).
-    std::vector<std::map<VertexId, BoundedSourceEntry>> next = state;
-    for (EdgeId eid = 0; eid < h.num_edges(); ++eid) {
-      const Edge& ed = h.edge(eid);
-      for (int dir = 0; dir < 2; ++dir) {
-        const VertexId from = dir == 0 ? ed.u : ed.v;
-        const VertexId to = dir == 0 ? ed.v : ed.u;
-        for (const auto& [source, entry] : state[static_cast<size_t>(from)]) {
-          const Weight cand = entry.dist + ed.w;
-          if (cand > radius) continue;
-          auto it2 = next[static_cast<size_t>(to)].find(source);
-          if (it2 == next[static_cast<size_t>(to)].end() ||
-              cand < it2->second.dist) {
-            BoundedSourceEntry e;
-            e.source = source;
-            e.dist = cand;
-            e.parent = from;
-            e.parent_edge = eid;
-            next[static_cast<size_t>(to)][source] = e;
-            changed = true;
-          }
+    std::uint64_t edge_offers = 0;
+    for (const auto& [v, s] : dirty) {
+      const auto rec =
+          table_find(result.table[static_cast<size_t>(v)], s);
+      LN_ASSERT(rec != result.table[static_cast<size_t>(v)].end() &&
+                rec->source == s);
+      const Weight dv = rec->dist;
+      // One synchronous relaxation over v's G-edges (the record's value is
+      // broadcast on every incident link).
+      for (const Incidence& inc : h.incident(v)) {
+        ++edge_offers;
+        const Weight cand = dv + h.edge(inc.edge).w;
+        if (cand > radius) continue;
+        size_t hint = 0;  // random-access pattern: no cursor to carry
+        if (relax_edge(result.table[static_cast<size_t>(inc.neighbor)], hint,
+                       s, cand, v, inc.edge))
+          next_dirty.emplace_back(inc.neighbor, s);
+      }
+      // Hopset-edge relaxations: hubs exchange their estimates globally
+      // (Lemma 1: O(M + D) rounds for M hub updates) and relax F locally.
+      for (const HopsetIncidence& hi : hopset_inc[static_cast<size_t>(v)]) {
+        const HopsetEdge& he = hopset.edges[static_cast<size_t>(hi.edge)];
+        const VertexId to = hi.forward ? he.v : he.u;
+        const Weight cand = dv + he.length;
+        if (cand > radius) continue;
+        SourceTable& to_table = result.table[static_cast<size_t>(to)];
+        auto target = table_find(to_table, s);
+        if (target == to_table.end() || target->source != s) {
+          BoundedSourceEntry e;
+          e.source = s;
+          e.dist = cand;
+          e.parent = v;
+          e.hopset_edge = hi.edge;
+          e.hopset_forward = hi.forward;
+          to_table.insert(target, e);
+        } else if (cand < target->dist) {
+          target->dist = cand;
+          target->parent = v;
+          target->parent_edge = kNoEdge;
+          target->hopset_edge = hi.edge;
+          target->hopset_forward = hi.forward;
+        } else {
+          continue;
         }
+        next_dirty.emplace_back(to, s);
+        ++hub_updates;
       }
     }
-    // Hopset-edge relaxations: hubs exchange their estimates globally
-    // (Lemma 1: O(M + D) rounds for M hub updates) and relax F locally.
-    for (size_t he_index = 0; he_index < hopset.edges.size(); ++he_index) {
-      const HopsetEdge& he = hopset.edges[he_index];
-      for (int dir = 0; dir < 2; ++dir) {
-        const VertexId from = dir == 0 ? he.u : he.v;
-        const VertexId to = dir == 0 ? he.v : he.u;
-        for (const auto& [source, entry] : state[static_cast<size_t>(from)]) {
-          const Weight cand = entry.dist + he.length;
-          if (cand > radius) continue;
-          auto it2 = next[static_cast<size_t>(to)].find(source);
-          if (it2 == next[static_cast<size_t>(to)].end() ||
-              cand < it2->second.dist) {
-            BoundedSourceEntry e;
-            e.source = source;
-            e.dist = cand;
-            e.parent = from;
-            e.hopset_edge = static_cast<int>(he_index);
-            e.hopset_forward = dir == 0;
-            next[static_cast<size_t>(to)][source] = e;
-            changed = true;
-            ++hub_updates;
-          }
-        }
-      }
-    }
-    state = std::move(next);
-    cost.rounds += 1 + hub_updates + 2 * static_cast<std::uint64_t>(
-                                             hop_diameter);
-    cost.messages += static_cast<std::uint64_t>(h.num_edges()) * 2 +
-                     hub_updates *
-                         (static_cast<std::uint64_t>(hop_diameter) + 1);
+    std::sort(next_dirty.begin(), next_dirty.end());
+    next_dirty.erase(std::unique(next_dirty.begin(), next_dirty.end()),
+                     next_dirty.end());
+    std::swap(dirty, next_dirty);
+    cost.rounds +=
+        1 + hub_updates + 2 * static_cast<std::uint64_t>(hop_diameter);
+    cost.messages +=
+        edge_offers +
+        hub_updates * (static_cast<std::uint64_t>(hop_diameter) + 1);
     cost.words = cost.messages * 2;
     cost.max_edge_load = 1;
-    if (!changed) break;
   }
 
-  BoundedMultiSourceResult result = finalize_tables(state);
+  finalize_tables(result);
   result.cost = cost;
   return result;
 }
@@ -213,7 +428,7 @@ std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
   VertexId cur = target;
   size_t guard = 0;
   while (cur != source) {
-    const BoundedSourceEntry* e = find_entry(result, cur, source);
+    const BoundedSourceEntry* e = find_source_entry(result, cur, source);
     if (e == nullptr) return {};
     if (e->hopset_edge >= 0) {
       LN_ASSERT_MSG(hopset != nullptr,
@@ -239,6 +454,38 @@ std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+bool collect_path_edges(const BoundedMultiSourceResult& result,
+                        const Hopset* hopset, VertexId target,
+                        VertexId source, std::vector<std::uint32_t>& stamp,
+                        std::uint32_t epoch, std::vector<EdgeId>& out) {
+  VertexId cur = target;
+  size_t guard = 0;
+  while (cur != source) {
+    // A stamped vertex already contributed its source-rooted suffix to
+    // `out` in an earlier extraction this epoch; the union is complete.
+    if (stamp[static_cast<size_t>(cur)] == epoch) return true;
+    stamp[static_cast<size_t>(cur)] = epoch;
+    const BoundedSourceEntry* e = find_source_entry(result, cur, source);
+    if (e == nullptr) return false;
+    if (e->hopset_edge >= 0) {
+      LN_ASSERT_MSG(hopset != nullptr,
+                    "hopset record without a hopset to expand it");
+      const HopsetEdge& he =
+          hopset->edges[static_cast<size_t>(e->hopset_edge)];
+      out.insert(out.end(), he.path.begin(), he.path.end());
+      cur = e->parent;
+    } else if (e->parent == kNoVertex) {
+      break;  // reached the source record
+    } else {
+      out.push_back(e->parent_edge);
+      cur = e->parent;
+    }
+    LN_ASSERT_MSG(++guard <= result.table.size() * 4,
+                  "path extraction did not terminate");
+  }
+  return true;
 }
 
 }  // namespace lightnet

@@ -2,15 +2,34 @@
 //
 // Runs all sources' bounded explorations in parallel over the CONGEST
 // kernel: every vertex keeps one (distance, parent) record per source whose
-// ball reaches it and pipelines updates one message per edge per round. In
-// doubling graphs the packing property bounds the number of sources
-// touching any vertex, which bounds both memory and rounds — the
-// max_sources_per_vertex field is the per-run certificate of that argument.
+// ball reaches it, stored as a flat vector sorted by source id (binary-
+// searched lookups, cache-friendly iteration — the per-vertex std::map of
+// the original implementation is gone). In doubling graphs the packing
+// property bounds the number of sources touching any vertex, which bounds
+// both memory and rounds — the max_sources_per_vertex field is the per-run
+// certificate of that argument.
 //
-// The optional hopset mode reproduces the paper's acceleration: β rounds of
+// Two kernel encodings, selected by SchedulerOptions::legacy_unbatched:
+//  - Batched (default): each round a vertex announces ALL sources whose
+//    distance improved, packed as (source, dist) pairs into one multi-word
+//    message per link (NodeContext::send_words_on_link). Accounting stays
+//    honest — CostStats::words counts every packed word and max_edge_load
+//    the ceil(words/kMaxWords) bandwidth multiple — so the batched ledger
+//    states exactly how far the encoding stretches the one-message budget
+//    (strict_congest is force-disabled on this path for that reason).
+//  - Legacy: one source popped per round, one 2-word message per link,
+//    strictly CONGEST-legal; the pre-batching encoding and its accounting.
+// Both encodings converge to the same fixed point, and parent records are
+// canonicalized (ties broken toward the smallest (parent, edge) pair), so
+// distance tables, parents, and extracted paths are bit-identical across
+// encodings and scheduler modes.
+//
+// The optional hopset mode reproduces the paper's acceleration: delta-list
 // Bellman-Ford over G interleaved with global exchanges of hub estimates
 // (charged per Lemma 1), with hopset edges relaxed through their reported
-// paths so the spanner can still add real G-edges.
+// paths so the spanner can still add real G-edges. Only records that
+// changed in the previous iteration are relaxed (no per-iteration clone of
+// the full state).
 #pragma once
 
 #include <span>
@@ -19,6 +38,7 @@
 #include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
+#include "routines/approx_spt.h"
 #include "routines/hopset.h"
 
 namespace lightnet {
@@ -37,22 +57,61 @@ struct BoundedMultiSourceResult {
   // d_H(source, v) ≤ radius (H = (1+ε)-rounded weights).
   std::vector<std::vector<BoundedSourceEntry>> table;
   size_t max_sources_per_vertex = 0;
+  // Cross-scale reuse (incremental entry point; zero on cold runs): records
+  // carried over from the previous scale's fixed point, and how few of them
+  // sat on the boundary shell and had to re-announce in round 0.
+  size_t records_inherited = 0;
+  size_t shell_announcements = 0;
   congest::CostStats cost;
 };
 
-// Kernel (message-level) implementation. `sched` pins the scheduler mode;
-// tables and stats are identical in every mode.
+// Kernel (message-level) implementation. `sched` pins the scheduler mode
+// and the batched/legacy encoding; tables are identical in every mode.
 BoundedMultiSourceResult bounded_multi_source_paths(
     const WeightedGraph& g, std::span<const VertexId> sources, Weight radius,
     double epsilon, congest::SchedulerOptions sched = {});
 
+// Substrate-reusing variant (distances w.r.t. substrate.rounded): the
+// doubling pipeline hoists one substrate over all O(log W) scales.
+BoundedMultiSourceResult bounded_multi_source_paths(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, congest::SchedulerOptions sched = {});
+
+// Incremental (cross-scale) exploration: `prev` must be this function's (or
+// the cold variant's) result on the same substrate at `prev_radius` ≤
+// `radius`. Records for sources no longer in `sources` are pruned (charged
+// one word per dropped record — the dead source's tombstone flood);
+// surviving interior records are already at their fixed point and stay
+// silent. Only the boundary shell re-announces (records that could reach
+// past `prev_radius` over some incident link — exactly the offers the old
+// radius pruned), and brand-new sources start fresh explorations. The
+// resulting tables are bit-identical to a cold run at `radius`: distances
+// because bounded relaxations prune prefix-monotonically, parents because
+// the shell re-offers are the only offers the previous fixed point never
+// saw and records are canonicalized (see relax_edge). Pass an empty `prev`
+// for a cold start.
+BoundedMultiSourceResult bounded_multi_source_paths_incremental(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, Weight prev_radius, BoundedMultiSourceResult prev,
+    congest::SchedulerOptions sched = {});
+
 // Hopset-accelerated implementation: at most `hopset.hop_limit * 3`
-// Bellman-Ford iterations, hub estimates exchanged globally each iteration
-// (Lemma 1 charge). Produces the same table interface.
+// delta-list Bellman-Ford iterations, hub estimates exchanged globally each
+// iteration (Lemma 1 charge). Produces the same table interface.
 BoundedMultiSourceResult bounded_multi_source_paths_hopset(
     const WeightedGraph& g, const Hopset& hopset,
     std::span<const VertexId> sources, Weight radius, double epsilon,
     int hop_diameter);
+
+// Pre-rounded variant: `h` must already carry the (1+ε)-rounded weights.
+BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
+    const WeightedGraph& h, const Hopset& hopset,
+    std::span<const VertexId> sources, Weight radius, int hop_diameter);
+
+// Binary search over table[v] (sorted by source); nullptr if the source's
+// ball does not reach v.
+const BoundedSourceEntry* find_source_entry(
+    const BoundedMultiSourceResult& result, VertexId v, VertexId source);
 
 // Walks parent records back from `target` to `source`, returning G-edge ids
 // (hopset records expand to their reported paths). Empty if the source's
@@ -60,5 +119,16 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset(
 std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
                                  const Hopset* hopset, VertexId target,
                                  VertexId source);
+
+// Memoized union-of-paths extraction: appends the edges of the
+// source→target path to `out`, stopping early at any vertex whose
+// source-rooted path was already collected into `out` by a previous call
+// with the same (source, stamp/epoch) pair — shared prefixes are walked
+// once per source. `stamp` must be n-sized and `epoch` strictly increasing
+// across (scale, source) pairs. Returns false if target is not reached.
+bool collect_path_edges(const BoundedMultiSourceResult& result,
+                        const Hopset* hopset, VertexId target,
+                        VertexId source, std::vector<std::uint32_t>& stamp,
+                        std::uint32_t epoch, std::vector<EdgeId>& out);
 
 }  // namespace lightnet

@@ -60,8 +60,8 @@ class ParetoList {
 class LeListProgram final : public NodeProgram {
  public:
   LeListProgram(VertexId self, bool active, std::uint64_t rank,
-                LeListsResult& out)
-      : self_(self), out_(out) {
+                Weight max_dist, LeListsResult& out)
+      : self_(self), max_dist_(max_dist), out_(out) {
     if (active) {
       const LeListEntry own{self_, 0.0, rank};
       list_.insert(own);
@@ -77,6 +77,10 @@ class LeListProgram final : public NodeProgram {
       entry.rank = d.msg.word(1);
       entry.dist = Message::decode_weight(d.msg.word(2)) +
                    ctx.network().graph().edge(d.edge).w;
+      // Truncation: entries past max_dist are dropped, not forwarded. The
+      // surviving prefix of the list is unchanged (Pareto survival of an
+      // entry depends only on entries no farther than itself).
+      if (entry.dist > max_dist_) continue;
       if (list_.insert(entry)) pending_[entry.rank] = entry;
     }
     // Drop pending entries that were pruned from the list after queuing
@@ -111,6 +115,7 @@ class LeListProgram final : public NodeProgram {
   }
 
   VertexId self_;
+  Weight max_dist_;
   LeListsResult& out_;
   ParetoList list_;
   std::map<std::uint64_t, LeListEntry> pending_;  // keyed by rank
@@ -123,27 +128,35 @@ LeListsResult compute_le_lists(const WeightedGraph& g,
                                std::span<const std::uint64_t> rank,
                                double delta,
                                congest::SchedulerOptions sched) {
-  LN_REQUIRE(rank.size() == static_cast<size_t>(g.num_vertices()),
+  const RoundedSubstrate substrate(g, delta);
+  return compute_le_lists(substrate, active, rank, sched);
+}
+
+LeListsResult compute_le_lists(const RoundedSubstrate& substrate,
+                               std::span<const VertexId> active,
+                               std::span<const std::uint64_t> rank,
+                               congest::SchedulerOptions sched,
+                               Weight max_dist) {
+  const WeightedGraph& h = substrate.rounded;
+  LN_REQUIRE(rank.size() == static_cast<size_t>(h.num_vertices()),
              "one rank slot per vertex required");
-  const WeightedGraph h = round_weights_up(g, delta);
 
   LeListsResult result;
-  result.lists.assign(static_cast<size_t>(g.num_vertices()), {});
+  result.lists.assign(static_cast<size_t>(h.num_vertices()), {});
 
-  std::vector<char> is_active(static_cast<size_t>(g.num_vertices()), 0);
+  std::vector<char> is_active(static_cast<size_t>(h.num_vertices()), 0);
   for (VertexId v : active) {
-    LN_REQUIRE(v >= 0 && v < g.num_vertices(), "active vertex out of range");
+    LN_REQUIRE(v >= 0 && v < h.num_vertices(), "active vertex out of range");
     is_active[static_cast<size_t>(v)] = 1;
   }
 
-  congest::Network net(h);
   std::vector<std::unique_ptr<NodeProgram>> programs;
-  programs.reserve(static_cast<size_t>(g.num_vertices()));
-  for (VertexId v = 0; v < g.num_vertices(); ++v)
+  programs.reserve(static_cast<size_t>(h.num_vertices()));
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
     programs.push_back(std::make_unique<LeListProgram>(
         v, is_active[static_cast<size_t>(v)] != 0,
-        rank[static_cast<size_t>(v)], result));
-  congest::Scheduler scheduler(net, std::move(programs), sched);
+        rank[static_cast<size_t>(v)], max_dist, result));
+  congest::Scheduler scheduler(substrate.network, std::move(programs), sched);
   result.cost = scheduler.run();
 
   for (const auto& list : result.lists)

@@ -24,6 +24,7 @@
 #include "congest/scheduler.h"
 #include "congest/stats.h"
 #include "graph/graph.h"
+#include "routines/approx_spt.h"
 
 namespace lightnet {
 
@@ -48,6 +49,21 @@ LeListsResult compute_le_lists(const WeightedGraph& g,
                                std::span<const std::uint64_t> rank,
                                double delta,
                                congest::SchedulerOptions sched = {});
+
+// Substrate-reusing variant: the lists are computed w.r.t.
+// substrate.rounded (H with d_G ≤ d_H ≤ (1+substrate.epsilon)·d_G) without
+// per-call rounding or Network construction. Identical lists and stats to
+// the wrapper above at delta == substrate.epsilon; the net algorithm calls
+// this once per iteration against one shared substrate. `max_dist`
+// truncates every list at that distance: entries within the bound are
+// unchanged (an entry's survival on the Pareto front depends only on
+// entries no farther than itself), farther ones are dropped instead of
+// flooded — consumers that only read entries within a radius pass it here.
+LeListsResult compute_le_lists(const RoundedSubstrate& substrate,
+                               std::span<const VertexId> active,
+                               std::span<const std::uint64_t> rank,
+                               congest::SchedulerOptions sched = {},
+                               Weight max_dist = kInfiniteDistance);
 
 // Brute-force sequential reference (Dijkstra from every active vertex);
 // used by tests to validate the distributed computation entry by entry.

@@ -127,6 +127,31 @@ TEST(Registry, BitDeterministicAcrossRunsWithTheSameSeed) {
   }
 }
 
+TEST(Registry, DoublingSpannerDeterministicThroughBatchedFastPath) {
+  // The batched exploration fast path must keep doubling_spanner artifacts
+  // bit-deterministic per seed, and identical (same edges, same
+  // diagnostics) to the legacy unbatched encoding — only the ledger may
+  // differ between the encodings.
+  const Construction* c = api::find_construction("doubling_spanner");
+  ASSERT_NE(c, nullptr);
+  for (const auto& [gname, g] : registry_graphs()) {
+    RunContext fast;
+    fast.seed = 7;
+    RunContext legacy;
+    legacy.seed = 7;
+    legacy.sched.legacy_unbatched = true;
+    const Artifact a = c->run(g, ConstructionParams{}, fast);
+    const Artifact b = c->run(g, ConstructionParams{}, fast);
+    expect_same_artifact(a, b, gname + "/doubling_spanner/rerun");
+    const Artifact l = c->run(g, ConstructionParams{}, legacy);
+    EXPECT_EQ(a.edges, l.edges) << gname;
+    EXPECT_EQ(api::diagnostic_or(a.diagnostics, "pairs_connected", -1.0),
+              api::diagnostic_or(l.diagnostics, "pairs_connected", -2.0))
+        << gname;
+    EXPECT_LE(a.ledger.total().messages, l.ledger.total().messages) << gname;
+  }
+}
+
 TEST(Registry, SeedChangesRandomizedConstructions) {
   // Not a guarantee for every graph, but on er24 the randomized net should
   // differ between far-apart seeds; catching a construction that silently

@@ -95,6 +95,104 @@ TEST(FastSendPath, RelaxedModeCountsLoadOnFastSends) {
   EXPECT_EQ(sched.run().max_edge_load, 2u);
 }
 
+// Batched multi-word sends: node 0 ships a 5-word payload down link 0
+// (send_words_on_link) and floods a 2-word one (broadcast_words); the
+// receiver must read both payloads back through NodeContext::payload.
+class BatchedSendProgram final : public NodeProgram {
+ public:
+  BatchedSendProgram(VertexId self, std::vector<std::uint64_t>& received)
+      : self_(self), received_(received) {}
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    if (ctx.round() == 0 && self_ == 0) {
+      const std::uint64_t wide[] = {10, 11, 12, 13, 14};
+      ctx.send_words_on_link(0, 7, wide);
+      const std::uint64_t narrow[] = {20, 21};
+      ctx.broadcast_words(8, narrow);
+    }
+    for (const Delivery& d : inbox)
+      for (std::uint64_t w : ctx.payload(d.msg)) received_.push_back(w);
+  }
+  bool quiescent() const override { return true; }
+
+ private:
+  VertexId self_;
+  std::vector<std::uint64_t>& received_;
+};
+
+TEST(FastSendPath, BatchedPayloadsRoundTripWithHonestAccounting) {
+  const WeightedGraph g = path_graph(3, WeightLaw::kUnit, 1.0, 1);
+  Network net(g);
+  std::vector<std::uint64_t> received;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 3; ++v)
+    programs.push_back(std::make_unique<BatchedSendProgram>(v, received));
+  SchedulerOptions options;
+  options.strict_congest = false;  // the 5-word batch exceeds one message
+  Scheduler sched(net, std::move(programs), options);
+  const CostStats cost = sched.run();
+  // Vertex 1 (0's only neighbor) gets both payloads, wide one first.
+  EXPECT_EQ(received,
+            (std::vector<std::uint64_t>{10, 11, 12, 13, 14, 20, 21}));
+  EXPECT_EQ(cost.messages, 2u);
+  EXPECT_EQ(cost.words, 7u);
+  // The wide batch is ceil(5/3) = 2 standard-message units plus the narrow
+  // broadcast's 1 on the same directed edge.
+  EXPECT_EQ(cost.max_edge_load, 3u);
+}
+
+// Payloads wider than one arena record must be split into in-order chunks,
+// not rejected.
+class HugeBatchProgram final : public NodeProgram {
+ public:
+  HugeBatchProgram(VertexId self, size_t total_words,
+                   std::vector<std::uint64_t>& received)
+      : self_(self), total_words_(total_words), received_(received) {}
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    if (ctx.round() == 0 && self_ == 0) {
+      std::vector<std::uint64_t> words(total_words_);
+      for (size_t i = 0; i < words.size(); ++i) words[i] = i;
+      ctx.broadcast_words(9, words);
+    }
+    for (const Delivery& d : inbox)
+      for (std::uint64_t w : ctx.payload(d.msg)) received_.push_back(w);
+  }
+  bool quiescent() const override { return true; }
+
+ private:
+  VertexId self_;
+  size_t total_words_;
+  std::vector<std::uint64_t>& received_;
+};
+
+TEST(FastSendPath, OversizedBatchIsChunkedInOrder) {
+  const size_t total = Scheduler::kBatchChunkWords + 6;  // two chunks
+  const WeightedGraph g = path_graph(2, WeightLaw::kUnit, 1.0, 1);
+  Network net(g);
+  std::vector<std::uint64_t> received;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 2; ++v)
+    programs.push_back(std::make_unique<HugeBatchProgram>(v, total, received));
+  SchedulerOptions options;
+  options.strict_congest = false;
+  Scheduler sched(net, std::move(programs), options);
+  const CostStats cost = sched.run();
+  ASSERT_EQ(received.size(), total);
+  for (size_t i = 0; i < total; ++i) ASSERT_EQ(received[i], i);
+  EXPECT_EQ(cost.messages, 2u);  // one per chunk
+  EXPECT_EQ(cost.words, static_cast<std::uint64_t>(total));
+}
+
+TEST(FastSendPath, StrictModeRejectsOversizedBatch) {
+  const WeightedGraph g = path_graph(3, WeightLaw::kUnit, 1.0, 1);
+  Network net(g);
+  std::vector<std::uint64_t> received;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (VertexId v = 0; v < 3; ++v)
+    programs.push_back(std::make_unique<BatchedSendProgram>(v, received));
+  Scheduler sched(net, std::move(programs));  // strict_congest default
+  EXPECT_THROW(sched.run(), std::logic_error);
+}
+
 // Out-of-range link indices are a program bug and must be caught.
 class BadLinkProgram final : public NodeProgram {
  public:
