@@ -7,6 +7,7 @@
 
 #include "api/report.h"
 #include "api/scenario.h"
+#include "api/validate.h"
 #include "support/assert.h"
 
 namespace lightnet::api {
@@ -21,9 +22,13 @@ struct ParsedSpec {
   std::vector<WeightLaw> laws;
   ConstructionParams params;
   ScenarioSpec scenario;  // knob template; family/law/n/seed set per run
+  congest::FaultPlan fault;
   bool full_sweep = false;
   bool quality = true;
   bool list_only = false;
+  // wall_ms emission: auto (-1) prints it on fault-free runs and omits it on
+  // fault runs, whose records must be bit-reproducible across invocations.
+  int wall = -1;
 };
 
 std::vector<std::string> split_csv(std::string_view value) {
@@ -128,6 +133,77 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
       spec.full_sweep = value != "0";
     } else if (key == "quality") {
       spec.quality = value != "0";
+    } else if (key == "wall") {
+      spec.wall = value != "0" ? 1 : 0;
+    } else if (key == "scenario") {
+      // Sugar for one pinned scenario: family[:n=..][:seed=..][:law=..],
+      // e.g. scenario=er:n=256 — the fault-sweep one-liner.
+      bool first = true;
+      for (const std::string& part : [&value] {
+             std::vector<std::string> parts;
+             size_t start = 0;
+             while (start <= value.size()) {
+               const size_t colon = value.find(':', start);
+               const size_t end =
+                   colon == std::string::npos ? value.size() : colon;
+               if (end > start) parts.push_back(value.substr(start, end - start));
+               if (colon == std::string::npos) break;
+               start = colon + 1;
+             }
+             return parts;
+           }()) {
+        if (first) {
+          first = false;
+          bool known = false;
+          for (const std::string& f : scenario_families())
+            known = known || f == part;
+          if (!known) {
+            std::fprintf(err, "lightnet_cli: unknown topology '%s'\n",
+                         part.c_str());
+            return false;
+          }
+          spec.topologies.push_back(part);
+          continue;
+        }
+        const size_t part_eq = part.find('=');
+        const std::string pk =
+            part_eq == std::string::npos ? part : part.substr(0, part_eq);
+        const std::string pv =
+            part_eq == std::string::npos ? "" : part.substr(part_eq + 1);
+        if (pk == "n") {
+          spec.ns.push_back(std::atoi(pv.c_str()));
+        } else if (pk == "seed") {
+          spec.seeds.push_back(std::strtoull(pv.c_str(), nullptr, 10));
+        } else if (pk == "law") {
+          WeightLaw law;
+          if (!parse_weight_law(pv, &law)) {
+            std::fprintf(err, "lightnet_cli: unknown weight law '%s'\n",
+                         pv.c_str());
+            return false;
+          }
+          spec.laws.push_back(law);
+        } else {
+          std::fprintf(err, "lightnet_cli: unknown scenario knob '%s'\n",
+                       pk.c_str());
+          return false;
+        }
+      }
+    } else if (key == "fault.seed") {
+      spec.fault.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "fault.drop") {
+      spec.fault.drop = std::atof(value.c_str());
+    } else if (key == "fault.link_fail") {
+      spec.fault.link_fail = std::atof(value.c_str());
+    } else if (key == "fault.link_period") {
+      spec.fault.link_period = std::atoi(value.c_str());
+    } else if (key == "fault.crash") {
+      spec.fault.crash = std::atof(value.c_str());
+    } else if (key == "fault.crash_horizon") {
+      spec.fault.crash_horizon = std::atoi(value.c_str());
+    } else if (key == "fault.restart") {
+      spec.fault.restart_after = std::atoi(value.c_str());
+    } else if (key == "fault.reorder") {
+      spec.fault.reorder = value != "0";
     } else {
       std::fprintf(err, "lightnet_cli: unknown key '%s'\n", key.c_str());
       return false;
@@ -139,6 +215,34 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
   if (spec.seeds.empty()) spec.seeds = {1};
   if (spec.laws.empty()) spec.laws = {WeightLaw::kUniform};
   return true;
+}
+
+std::string fault_json(const congest::FaultPlan& f) {
+  std::string out = "{";
+  out += "\"seed\":" + std::to_string(f.seed);
+  out += ",\"drop\":" + json_number(f.drop);
+  out += ",\"link_fail\":" + json_number(f.link_fail);
+  out += ",\"link_period\":" + std::to_string(f.link_period);
+  out += ",\"crash\":" + json_number(f.crash);
+  out += ",\"crash_horizon\":" + std::to_string(f.crash_horizon);
+  out += ",\"restart\":" + std::to_string(f.restart_after);
+  out += ",\"reorder\":" + std::string(f.reorder ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+std::string validation_json(const Validation& v) {
+  std::string out = "{\"outcome\":\"";
+  out += outcome_name(v.outcome);
+  out += "\",\"failures\":[";
+  bool first = true;
+  for (const std::string& f : v.failures) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + congest::json_escape(f) + "\"";
+  }
+  out += "],\"checks\":" + to_json(v.checks) + "}";
+  return out;
 }
 
 std::string params_json(const ConstructionParams& p) {
@@ -208,21 +312,35 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
             RunContext ctx;
             ctx.seed = seed;
             ctx.sched.full_sweep = spec.full_sweep;
+            ctx.sched.fault = spec.fault;
+            const bool faulty = spec.fault.enabled();
             const auto start = std::chrono::steady_clock::now();
             Artifact artifact;
-            try {
-              artifact = c->run(g, spec.params, ctx);
-            } catch (const std::exception& e) {
-              // A construction failing on one scenario must not kill the
-              // sweep; record the failure as a JSON line and move on.
-              std::fprintf(
-                  out,
-                  "{\"construction\":\"%s\",\"topology\":\"%s\",\"n\":%d,"
-                  "\"seed\":%llu,\"error\":\"%s\"}\n",
-                  std::string(c->name()).c_str(), family.c_str(), n,
-                  static_cast<unsigned long long>(seed),
-                  congest::json_escape(e.what()).c_str());
-              continue;
+            Validation validation;
+            if (faulty) {
+              // Faulty runs go through the graceful path: exceptions and
+              // round-cap aborts become outcomes, and the artifact is
+              // re-validated against its kind's invariants.
+              OutcomeRun r = run_with_outcome(*c, g, spec.params, ctx);
+              artifact = std::move(r.artifact);
+              validation = std::move(r.validation);
+              if (!r.error.empty())
+                validation.failures.push_back(congest::json_escape(r.error));
+            } else {
+              try {
+                artifact = c->run(g, spec.params, ctx);
+              } catch (const std::exception& e) {
+                // A construction failing on one scenario must not kill the
+                // sweep; record the failure as a JSON line and move on.
+                std::fprintf(
+                    out,
+                    "{\"construction\":\"%s\",\"topology\":\"%s\",\"n\":%d,"
+                    "\"seed\":%llu,\"error\":\"%s\"}\n",
+                    std::string(c->name()).c_str(), family.c_str(), n,
+                    static_cast<unsigned long long>(seed),
+                    congest::json_escape(e.what()).c_str());
+                continue;
+              }
             }
             const double wall_ms =
                 std::chrono::duration<double, std::milli>(
@@ -244,11 +362,23 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
                     std::to_string(g.num_vertices()) +
                     ",\"edges\":" + std::to_string(g.num_edges()) +
                     ",\"hop_diameter\":" + std::to_string(hop_diameter) + "}";
-            line += ",\"wall_ms\":" + json_number(wall_ms);
+            if (faulty) {
+              line += ",\"fault\":" + fault_json(spec.fault);
+              line += ",\"validation\":" + validation_json(validation);
+            }
+            if (spec.wall == 1 || (spec.wall == -1 && !faulty))
+              line += ",\"wall_ms\":" + json_number(wall_ms);
             if (spec.quality) {
-              const QualityReport report =
-                  evaluate_artifact(g, c->kind(), artifact);
-              line += ",\"metrics\":" + to_json(report);
+              try {
+                const QualityReport report =
+                    evaluate_artifact(g, c->kind(), artifact);
+                line += ",\"metrics\":" + to_json(report);
+              } catch (const std::exception&) {
+                // A partial artifact (crashed nodes, severed components)
+                // can defeat the exact verifiers; the validation object
+                // already records what holds, so the metrics are skipped
+                // rather than the record lost.
+              }
             }
             line += ",\"diagnostics\":" + to_json(artifact.diagnostics);
             line += ",\"cost\":" + congest::to_json(artifact.ledger);

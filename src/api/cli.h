@@ -14,8 +14,14 @@
 //   law           unit|uniform|heavy_tail|exp_scales (default uniform)
 //   eps gamma alpha k radius delta root hopset       ConstructionParams
 //   max_weight avg_degree geo_radius chord_weight    ScenarioSpec knobs
+//   scenario      family[:n=..][:seed=..][:law=..]   one-spec sugar
+//   fault.seed fault.drop fault.link_fail            congest::FaultPlan
+//   fault.link_period fault.crash fault.crash_horizon
+//   fault.restart fault.reorder                      (default: no faults)
 //   full_sweep    0|1: scheduler reference mode      (default 0)
 //   quality       0|1: exact quality metrics         (default 1)
+//   wall          0|1: emit wall_ms (default: on, but off under faults so
+//                 fault records are bit-reproducible)
 //   list          print registered constructions and families, then exit
 //
 // Each run emits one JSON line to `out`:
@@ -23,6 +29,10 @@
 //    "params":{...},"graph":{"vertices":..,"edges":..,"hop_diameter":..},
 //    "wall_ms":..,"metrics":{...},"diagnostics":{...},"cost":{per-phase
 //    RoundLedger}}
+// Fault runs additionally carry "fault":{plan} and "validation":
+// {"outcome":"completed|degraded|aborted","failures":[..],"checks":{..}}
+// (api/validate.h), and run through the graceful path: construction
+// exceptions and round-cap aborts become outcomes, not lost records.
 //
 // The parsing/sweep core is a library function so tests can drive it
 // in-process; tools/lightnet_cli.cc is the thin main().

@@ -1,8 +1,10 @@
 #include "api/registry.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "baseline/greedy_spanner.h"
+#include "congest/bfs.h"
 #include "baseline/kry_slt.h"
 #include "baseline/sequential_net.h"
 #include "core/baswana_sen.h"
@@ -13,6 +15,7 @@
 #include "core/nets.h"
 #include "core/slt.h"
 #include "graph/mst.h"
+#include "support/assert.h"
 #include "support/rng.h"
 
 namespace lightnet::api {
@@ -282,6 +285,43 @@ class ElkinNeimanConstruction final : public Construction {
   }
 };
 
+class BfsTreeConstruction final : public Construction {
+ public:
+  std::string_view name() const override { return "bfs_tree"; }
+  ArtifactKind kind() const override { return ArtifactKind::kTree; }
+  std::string_view summary() const override {
+    return "BFS tree (the tree tau of §2); retransmit-aware under an active "
+           "fault plan";
+  }
+  Artifact run(const WeightedGraph& g, const ConstructionParams& p,
+               const RunContext& ctx) const override {
+    // Under a fault plan the plain flood would silently build a wrong tree
+    // (a dropped announcement re-parents a subtree deeper); the reliable
+    // fixpoint variant converges to the identical tree through the
+    // transport, so the same registry entry serves both worlds.
+    const congest::BfsTreeResult r =
+        ctx.sched.fault.enabled()
+            ? congest::build_bfs_tree_reliable(g, p.root, ctx.sched)
+            : congest::build_bfs_tree(g, p.root, ctx.sched);
+    Artifact a;
+    a.edges.reserve(static_cast<size_t>(r.reached) - 1);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const VertexId parent = r.parent[static_cast<size_t>(v)];
+      if (parent == kNoVertex) continue;
+      const EdgeId e = g.find_edge(v, parent);
+      LN_ASSERT(e != kNoEdge);
+      a.edges.push_back(e);
+    }
+    std::sort(a.edges.begin(), a.edges.end());
+    a.ledger.add("bfs-flood", r.cost);
+    deposit(ctx, a.ledger, "bfs_tree");
+    push(a.diagnostics, "root", p.root);
+    push(a.diagnostics, "height", r.height);
+    push(a.diagnostics, "reached", r.reached);
+    return a;
+  }
+};
+
 // ------------------------------------------------------------ baselines
 
 class GreedySpannerConstruction final : public Construction {
@@ -383,12 +423,14 @@ const std::vector<const Construction*>& all_constructions() {
   static const MstWeightEstimateConstruction mst_weight_estimate;
   static const BaswanaSenConstruction baswana_sen;
   static const ElkinNeimanConstruction elkin_neiman;
+  static const BfsTreeConstruction bfs_tree;
   static const GreedySpannerConstruction greedy;
   static const KrySltConstruction kry;
   static const SequentialNetConstruction seq_net;
   static const std::vector<const Construction*> all = {
       &slt,  &slt_light,           &light_spanner, &doubling_spanner,
       &net,  &mst_weight_estimate, &baswana_sen,   &elkin_neiman,
+      &bfs_tree,
       &greedy, &kry,               &seq_net,
   };
   return all;

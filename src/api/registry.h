@@ -10,7 +10,8 @@
 //
 // Registered names:
 //   slt, slt_light, light_spanner, doubling_spanner, net,
-//   mst_weight_estimate, baswana_sen, elkin_neiman        (core)
+//   mst_weight_estimate, baswana_sen, elkin_neiman,
+//   bfs_tree                                              (core)
 //   greedy_spanner, kry_slt, sequential_net               (baselines)
 #pragma once
 

@@ -1,0 +1,188 @@
+#include "api/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+
+#include "graph/metrics.h"
+#include "graph/shortest_paths.h"
+#include "graph/union_find.h"
+
+namespace lightnet::api {
+
+namespace {
+
+void check(Diagnostics& d, const char* key, double value) {
+  d.emplace_back(key, value);
+}
+
+// Tree kind: the edge set must be acyclic and form one component containing
+// the root; vertices outside that component are coverage gaps (crashed or
+// cut off), degrading but not failing the run.
+void validate_tree(const WeightedGraph& g, const ConstructionParams& params,
+                   const Artifact& artifact, Validation& out, bool& partial) {
+  const int n = g.num_vertices();
+  UnionFind uf(n);
+  bool cycle = false;
+  bool bad_edge = false;
+  for (EdgeId id : artifact.edges) {
+    if (id < 0 || id >= g.num_edges()) {
+      bad_edge = true;
+      continue;
+    }
+    const Edge& e = g.edge(id);
+    if (!uf.unite(e.u, e.v)) cycle = true;
+  }
+  if (bad_edge) out.failures.emplace_back("tree_invalid_edge_id");
+  if (cycle) out.failures.emplace_back("tree_cycle");
+  int reached = 0;
+  for (VertexId v = 0; v < n; ++v)
+    if (uf.same(v, params.root)) ++reached;
+  check(out.checks, "tree_reached", reached);
+  check(out.checks, "tree_edges", static_cast<double>(artifact.edges.size()));
+  // Acyclic + all edges inside the root's component ⇔ exactly reached-1
+  // edges; anything else means stray components or duplicate edges.
+  if (!cycle && !bad_edge &&
+      artifact.edges.size() != static_cast<size_t>(reached) - 1)
+    out.failures.emplace_back("tree_stray_edges");
+  if (reached < n) partial = true;
+}
+
+// Spanner kind: connectivity on the surviving component(s) plus sampled
+// stretch. The theory bounds are topology-conditional (doubling dimension,
+// hop vs weighted stretch), so exceeding them is recorded, not failed;
+// losing connectivity that the input graph has is the degradation signal.
+void validate_spanner(const WeightedGraph& g, const Artifact& artifact,
+                      Validation& out, bool& partial) {
+  const int n = g.num_vertices();
+  UnionFind gcc(n);
+  for (EdgeId id = 0; id < g.num_edges(); ++id)
+    gcc.unite(g.edge(id).u, g.edge(id).v);
+  UnionFind scc(n);
+  bool bad_edge = false;
+  for (EdgeId id : artifact.edges) {
+    if (id < 0 || id >= g.num_edges()) {
+      bad_edge = true;
+      continue;
+    }
+    scc.unite(g.edge(id).u, g.edge(id).v);
+  }
+  if (bad_edge) out.failures.emplace_back("spanner_invalid_edge_id");
+  const int excess = scc.num_components() - gcc.num_components();
+  check(out.checks, "spanner_components", scc.num_components());
+  if (excess > 0) partial = true;
+
+  // Sampled stretch: a handful of deterministic sources, exact Dijkstra in
+  // both graphs. Pairs g connects but the spanner does not are counted (the
+  // per-pair view of the component gap above).
+  const WeightedGraph h = g.edge_subgraph(artifact.edges);
+  const int samples = std::min(n, 4);
+  double max_stretch = 1.0;
+  double unreachable = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const VertexId s = static_cast<VertexId>(
+        (static_cast<long long>(i) * n) / samples);
+    const ShortestPathTree in_g = dijkstra(g, s);
+    const ShortestPathTree in_h = dijkstra(h, s);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == s || in_g.dist[static_cast<size_t>(v)] == kInfiniteDistance)
+        continue;
+      if (in_h.dist[static_cast<size_t>(v)] == kInfiniteDistance) {
+        unreachable += 1.0;
+        continue;
+      }
+      max_stretch = std::max(max_stretch,
+                             in_h.dist[static_cast<size_t>(v)] /
+                                 in_g.dist[static_cast<size_t>(v)]);
+    }
+  }
+  check(out.checks, "sampled_max_stretch", max_stretch);
+  check(out.checks, "sampled_unreachable_pairs", unreachable);
+  if (unreachable > 0.0) partial = true;
+}
+
+// Net kind: re-run the (alpha, beta) certificate the construction claims in
+// its diagnostics.
+void validate_net(const WeightedGraph& g, const ConstructionParams& params,
+                  const Artifact& artifact, Validation& out, bool& partial) {
+  const double radius = net_radius_for(g, params);
+  const double alpha =
+      diagnostic_or(artifact.diagnostics, "net_alpha", radius);
+  const double beta = diagnostic_or(artifact.diagnostics, "net_beta", radius);
+  if (artifact.vertices.empty()) {
+    out.failures.emplace_back("net_empty");
+    partial = true;
+    return;
+  }
+  const NetCheck nc = check_net(g, artifact.vertices, alpha, beta);
+  check(out.checks, "net_worst_cover_distance", nc.worst_cover_distance);
+  check(out.checks, "net_min_pair_distance", nc.min_pair_distance);
+  if (!nc.covering) out.failures.emplace_back("net_not_covering");
+  if (!nc.separated) out.failures.emplace_back("net_not_separated");
+}
+
+}  // namespace
+
+const char* outcome_name(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kDegraded:
+      return "degraded";
+    case RunOutcome::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+Validation validate_artifact(const WeightedGraph& g, const Construction& c,
+                             const ConstructionParams& params,
+                             const Artifact& artifact) {
+  Validation out;
+  bool partial = false;
+  switch (c.kind()) {
+    case ArtifactKind::kTree:
+      validate_tree(g, params, artifact, out, partial);
+      break;
+    case ArtifactKind::kSpanner:
+      validate_spanner(g, artifact, out, partial);
+      break;
+    case ArtifactKind::kNet:
+      validate_net(g, params, artifact, out, partial);
+      break;
+    case ArtifactKind::kEstimate:
+      // The estimate's quality evidence lives in its diagnostics (ratio
+      // against the theory band); there is no structural invariant to
+      // re-check.
+      check(out.checks, "estimate_ratio",
+            diagnostic_or(artifact.diagnostics, "ratio", 0.0));
+      break;
+  }
+  out.outcome = (!out.failures.empty() || partial) ? RunOutcome::kDegraded
+                                                   : RunOutcome::kCompleted;
+  return out;
+}
+
+OutcomeRun run_with_outcome(const Construction& c, const WeightedGraph& g,
+                            const ConstructionParams& params,
+                            const RunContext& ctx) {
+  OutcomeRun run;
+  try {
+    run.artifact = c.run(g, params, ctx);
+  } catch (const std::exception& e) {
+    run.error = e.what();
+    run.validation.outcome = RunOutcome::kAborted;
+    run.validation.failures.emplace_back("exception");
+    return run;
+  }
+  run.validation = validate_artifact(g, c, params, run.artifact);
+  if (run.artifact.ledger.total().rounds_capped != 0) {
+    // Round-cap abort: the artifact is whatever the programs had computed;
+    // the validation checks above still describe it honestly.
+    run.validation.outcome = RunOutcome::kAborted;
+    run.validation.failures.emplace_back("round_cap");
+  }
+  return run;
+}
+
+}  // namespace lightnet::api

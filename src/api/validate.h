@@ -1,0 +1,70 @@
+// Post-run artifact validation and graceful run outcomes.
+//
+// Fault-free lightnet trusts LN_ASSERT: a construction either returns a
+// correct artifact or aborts. Under an active FaultPlan that dichotomy is
+// wrong — a run can terminate with a structurally valid but PARTIAL output
+// (crashed nodes unreached, a spanner component cut off), or hit the round
+// cap and stop with whatever it had. This layer classifies what actually
+// happened:
+//   - kCompleted: the run terminated and the kind's invariants hold on the
+//     whole graph;
+//   - kDegraded:  the run terminated, but the output is partial (coverage
+//     gaps) or an invariant check failed — usable with care;
+//   - kAborted:   the run hit SchedulerOptions::max_rounds (the ledger has
+//     rounds_capped) or threw; the artifact is whatever survived.
+//
+// The validators re-check invariants from scratch with the sequential
+// oracles instead of trusting the construction: trees are checked for
+// acyclicity and root-connectivity (union-find), spanners for connectivity
+// on the surviving component plus sampled-pair stretch (Dijkstra), nets
+// against their (alpha, beta) certificate (check_net). Checks are recorded
+// as diagnostics so sweep records carry the evidence, not just the verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/artifact.h"
+#include "api/registry.h"
+#include "api/run_context.h"
+#include "graph/graph.h"
+
+namespace lightnet::api {
+
+enum class RunOutcome { kCompleted, kDegraded, kAborted };
+
+const char* outcome_name(RunOutcome outcome);
+
+struct Validation {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  // Violated invariants, empty when the artifact checks out. Coverage gaps
+  // (expected under crash faults) degrade the outcome without appearing
+  // here; failures mean the output is structurally wrong for its kind.
+  std::vector<std::string> failures;
+  // Measured certificate quantities (reached counts, sampled stretch,
+  // cover/separation distances), in check order.
+  Diagnostics checks;
+};
+
+// Runs the kind-specific validator hooks against a finished artifact.
+// Deterministic; never throws on a malformed artifact — malformations
+// become failures.
+Validation validate_artifact(const WeightedGraph& g, const Construction& c,
+                             const ConstructionParams& params,
+                             const Artifact& artifact);
+
+struct OutcomeRun {
+  Artifact artifact;  // partial (possibly empty) when outcome is kAborted
+  Validation validation;
+  std::string error;  // what() when the construction threw, else empty
+};
+
+// Construction::run with graceful degradation: exceptions and round-cap
+// aborts are folded into the outcome instead of propagating, and the
+// artifact is validated. The cost ledger is preserved in every case that
+// produces one.
+OutcomeRun run_with_outcome(const Construction& c, const WeightedGraph& g,
+                            const ConstructionParams& params,
+                            const RunContext& ctx);
+
+}  // namespace lightnet::api

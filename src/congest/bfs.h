@@ -17,7 +17,8 @@ struct BfsTreeResult {
   VertexId root = kNoVertex;
   std::vector<VertexId> parent;  // kNoVertex at root
   std::vector<int> depth;        // hops from root
-  int height = 0;                // max depth
+  int height = 0;                // max depth among reached vertices
+  int reached = 0;               // vertices with depth >= 0 (root included)
   CostStats cost;
 };
 
@@ -26,5 +27,17 @@ struct BfsTreeResult {
 // identical in every mode.
 BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root,
                              SchedulerOptions sched_options = {});
+
+// Retransmit-aware BFS: every announcement goes through the reliable
+// transport, and nodes keep the canonical fixpoint (minimum depth, ties to
+// the minimum parent id) instead of "first delivery wins". On a connected
+// graph this converges to bit-the-same tree as the fault-free
+// build_bfs_tree — the plain program's deterministic inbox order picks
+// exactly that canonical parent — while surviving any drop/reorder plan.
+// Unreachable vertices (crashed, or cut off by dead links) keep depth -1;
+// no connectivity requirement. Forces strict_congest = false (transport
+// frames need the relaxed budget).
+BfsTreeResult build_bfs_tree_reliable(const WeightedGraph& g, VertexId root,
+                                      SchedulerOptions sched_options = {});
 
 }  // namespace lightnet::congest

@@ -1,0 +1,82 @@
+#include "congest/fault.h"
+
+#include <climits>
+
+namespace lightnet::congest {
+
+namespace {
+
+// Domain-separation tags: every fault class hashes a disjoint stream, so
+// e.g. the drop decisions cannot correlate with the crash schedule of the
+// node behind the same edge id.
+constexpr std::uint64_t kDropTag = 0xd50f'd50f'0000'0001ULL;
+constexpr std::uint64_t kLinkTag = 0x11f0'11f0'0000'0002ULL;
+constexpr std::uint64_t kCrashTag = 0xc5a5'c5a5'0000'0003ULL;
+constexpr std::uint64_t kShuffleTag = 0x5f17'5f17'0000'0004ULL;
+
+// SplitMix64 finalizer: the same mixer support/rng.h seeds from, applied as
+// a stateless hash — inputs are folded in with odd multiplicative constants
+// so (a, b) and (b, a) land in different cells.
+std::uint64_t fmix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash4(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                    std::uint64_t b, std::uint64_t c) {
+  std::uint64_t h = fmix(seed + 0x9e3779b97f4a7c15ULL) ^ tag;
+  h = fmix(h + a * 0xff51afd7ed558ccdULL);
+  h = fmix(h + b * 0xc4ceb9fe1a85ec53ULL);
+  h = fmix(h + c * 0x2545f4914f6cdd1dULL);
+  return h;
+}
+
+// Uniform in [0, 1) from a hash, mirroring Rng::next_double.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultModel::drop_message(int round, EdgeId edge, int direction,
+                              std::uint32_t msg_index) const {
+  if (plan_.drop <= 0.0) return false;
+  const std::uint64_t h =
+      hash4(plan_.seed, kDropTag, static_cast<std::uint64_t>(round),
+            (static_cast<std::uint64_t>(edge) << 1) |
+                static_cast<std::uint64_t>(direction),
+            msg_index);
+  return to_unit(h) < plan_.drop;
+}
+
+bool FaultModel::link_down(int round, EdgeId edge) const {
+  if (plan_.link_fail <= 0.0) return false;
+  const int period = plan_.link_period > 0 ? plan_.link_period : 1;
+  const std::uint64_t interval = static_cast<std::uint64_t>(round / period);
+  const std::uint64_t h = hash4(plan_.seed, kLinkTag,
+                                static_cast<std::uint64_t>(edge), interval, 0);
+  return to_unit(h) < plan_.link_fail;
+}
+
+bool FaultModel::crash_schedule(VertexId v, int* crash_round,
+                                int* restart_round) const {
+  if (plan_.crash <= 0.0) return false;
+  const std::uint64_t pick =
+      hash4(plan_.seed, kCrashTag, static_cast<std::uint64_t>(v), 0, 0);
+  if (to_unit(pick) >= plan_.crash) return false;
+  const int horizon = plan_.crash_horizon > 0 ? plan_.crash_horizon : 1;
+  const std::uint64_t when =
+      hash4(plan_.seed, kCrashTag, static_cast<std::uint64_t>(v), 1, 0);
+  *crash_round = static_cast<int>(when % static_cast<std::uint64_t>(horizon));
+  *restart_round = plan_.restart_after > 0 ? *crash_round + plan_.restart_after
+                                           : INT_MAX;
+  return true;
+}
+
+std::uint64_t FaultModel::shuffle_key(int round, VertexId v) const {
+  return hash4(plan_.seed, kShuffleTag, static_cast<std::uint64_t>(round),
+               static_cast<std::uint64_t>(v), 0);
+}
+
+}  // namespace lightnet::congest

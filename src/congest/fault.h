@@ -1,0 +1,84 @@
+// Deterministic fault injection for CONGEST executions.
+//
+// The paper assumes a fault-free synchronous network; the resilience
+// experiments this repo is growing toward (churn, adversarial workloads —
+// see ROADMAP) need the opposite: reproducible unreliability. A FaultPlan
+// describes WHAT can go wrong, a FaultModel answers every individual
+// fault question as a pure function of (seed, round, edge, msg_index) or
+// (seed, node) — no mutable state, no stream position — so a faulty run is
+// bit-reproducible and any single decision is replayable in isolation.
+//
+// Fault classes (all off by default; FaultPlan::enabled() is false for the
+// zero plan, and the scheduler compiles the fault path out of the hot loop
+// entirely in that case — a drop-rate-0 plan IS the fault-free path):
+//  - drop:  each delivered message is lost independently with probability
+//           `drop`, decided from (round, edge, direction, msg_index) where
+//           msg_index counts the messages on that directed edge that round;
+//  - link intervals: time is cut into `link_period`-round intervals; each
+//           (edge, interval) is down with probability `link_fail` — a down
+//           link loses every message in both directions;
+//  - crash: each node crashes with probability `crash` at a round drawn
+//           uniformly from [0, crash_horizon); while down it is not invoked
+//           and every message addressed to it is lost. restart_after > 0
+//           brings it back (program state intact — the crash-recover model
+//           with stable storage); restart_after == 0 is a permanent crash;
+//  - reorder: each recipient's per-round inbox is permuted by a seeded
+//           Fisher-Yates — legal in CONGEST, where within-round delivery
+//           order is adversarial, so order-robust programs must not notice.
+//
+// Faults are resolved per scheduler execution: a multi-phase construction
+// re-runs the plan from round 0 in each phase (each phase is an independent
+// execution of the same adversary).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace lightnet::congest {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  // fault stream root; independent of the run seed
+  double drop = 0.0;       // per-message loss probability
+  double link_fail = 0.0;  // per-(edge, interval) down probability
+  int link_period = 16;    // rounds per link up/down interval
+  double crash = 0.0;      // per-node crash probability
+  int crash_horizon = 64;  // crash round uniform in [0, crash_horizon)
+  int restart_after = 0;   // rounds down before restart; 0 = permanent
+  bool reorder = false;    // permute per-round inboxes
+
+  bool enabled() const {
+    return drop > 0.0 || link_fail > 0.0 || crash > 0.0 || reorder;
+  }
+};
+
+// Stateless decision oracle over a FaultPlan. Every method is const and
+// depends only on its arguments and the plan, so decisions can be queried
+// in any order (the scheduler asks at delivery time; tests replay single
+// decisions).
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Is the msg_index-th message on (edge, direction) this round dropped?
+  bool drop_message(int round, EdgeId edge, int direction,
+                    std::uint32_t msg_index) const;
+
+  // Is the (undirected) link down for this round's deliveries?
+  bool link_down(int round, EdgeId edge) const;
+
+  // Crash schedule of `v`: returns true (filling *crash_round and
+  // *restart_round) if the plan crashes v. restart_round is INT_MAX for a
+  // permanent crash.
+  bool crash_schedule(VertexId v, int* crash_round, int* restart_round) const;
+
+  // Shuffle key for recipient v's round-`round` inbox permutation.
+  std::uint64_t shuffle_key(int round, VertexId v) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace lightnet::congest

@@ -1,8 +1,11 @@
 #include "congest/scheduler.h"
 
 #include <algorithm>
+#include <climits>
 
+#include "congest/reliable.h"
 #include "support/assert.h"
+#include "support/rng.h"
 
 namespace lightnet::congest {
 
@@ -38,6 +41,10 @@ void NodeContext::broadcast_words(std::uint32_t tag,
   scheduler_->broadcast_words(self_, link_base_, links_, tag, words);
 }
 
+void NodeContext::reliable_send_on_link(int link_index, const Message& msg) {
+  scheduler_->reliable_send(self_, link_base_, link_index, links_, msg);
+}
+
 std::span<const std::uint64_t> NodeContext::payload(const Message& msg) const {
   if (msg.ext_size == 0)
     return {msg.words.data(), static_cast<size_t>(msg.size)};
@@ -61,7 +68,26 @@ Scheduler::Scheduler(const Network& network,
   for (VertexId v = 0; v < static_cast<VertexId>(n); ++v)
     if (programs_[static_cast<size_t>(v)]->wants_idle_rounds())
       idle_riders_.push_back(v);
+
+  if (options_.fault.enabled()) {
+    fault_ = std::make_unique<FaultModel>(options_.fault);
+    fault_seq_.assign(static_cast<size_t>(network.graph().num_edges()) * 2, 0);
+    node_down_.assign(n, 0);
+    for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+      int crash_round = 0, restart_round = 0;
+      if (!fault_->crash_schedule(v, &crash_round, &restart_round)) continue;
+      crash_events_.push_back({crash_round, v, true});
+      if (restart_round != INT_MAX)
+        crash_events_.push_back({restart_round, v, false});
+    }
+    std::sort(crash_events_.begin(), crash_events_.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                return a.round != b.round ? a.round < b.round : a.v < b.v;
+              });
+  }
 }
+
+Scheduler::~Scheduler() = default;
 
 void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
                                  std::uint32_t dir_slot, const Message& msg) {
@@ -152,7 +178,7 @@ void Scheduler::flush_edge_loads() {
   touched_edges_.clear();
 }
 
-void Scheduler::deliver_stage() {
+void Scheduler::deliver_stage(int round) {
   // Close out the spans consumed last round; inbox_len_ is all-zero outside
   // the entries of the round's recipients.
   for (VertexId v : current_mail_) inbox_len_[static_cast<size_t>(v)] = 0;
@@ -167,6 +193,11 @@ void Scheduler::deliver_stage() {
   stage_words_.clear();
   std::swap(current_mail_, mail_nodes_);
   for (VertexId v : current_mail_) has_mail_[static_cast<size_t>(v)] = 0;
+
+  // Every staged message leaves flight now, whether or not the adversary
+  // lets it reach its inbox.
+  in_flight_ -= deliver_buf_.size();
+  if (fault_) apply_faults(round);
 
   const size_t old_capacity = arena_.capacity();
   arena_.resize(deliver_buf_.size());
@@ -188,25 +219,107 @@ void Scheduler::deliver_stage() {
   }
   for (VertexId v : current_mail_) recv_count_[static_cast<size_t>(v)] = 0;
 
-  in_flight_ -= deliver_buf_.size();
   deliver_buf_.clear();
+  if (fault_ && fault_->plan().reorder) apply_reorder(round);
+}
+
+void Scheduler::apply_faults(int round) {
+  const WeightedGraph& g = network_->graph();
+  size_t w = 0;
+  for (const Pending& p : deliver_buf_) {
+    const EdgeId e = p.delivery.edge;
+    const int dir = p.delivery.from == g.edge(e).u ? 0 : 1;
+    const size_t slot = static_cast<size_t>(e) * 2 + static_cast<size_t>(dir);
+    if (fault_seq_[slot] == 0)
+      fault_touched_.push_back(static_cast<std::uint32_t>(slot));
+    const std::uint32_t msg_index = fault_seq_[slot]++;
+    const bool lost = node_down_[static_cast<size_t>(p.to)] ||
+                      fault_->link_down(round, e) ||
+                      fault_->drop_message(round, e, dir, msg_index);
+    if (lost) {
+      ++stats_.dropped;
+      --recv_count_[static_cast<size_t>(p.to)];
+      continue;
+    }
+    deliver_buf_[w++] = p;
+  }
+  deliver_buf_.resize(w);
+  for (std::uint32_t slot : fault_touched_) fault_seq_[slot] = 0;
+  fault_touched_.clear();
+}
+
+void Scheduler::apply_reorder(int round) {
+  // Seeded Fisher-Yates over each inbox span: a CONGEST-legal adversary may
+  // pick any within-round delivery order, so order-robust programs must
+  // produce identical output under any shuffle_key.
+  for (VertexId v : current_mail_) {
+    const size_t vi = static_cast<size_t>(v);
+    const std::uint32_t len = inbox_len_[vi];
+    if (len < 2) continue;
+    Delivery* span = arena_.data() + inbox_start_[vi];
+    std::uint64_t state = fault_->shuffle_key(round, v);
+    for (std::uint32_t i = len - 1; i > 0; --i) {
+      const std::uint32_t j = static_cast<std::uint32_t>(
+          splitmix64(state) % static_cast<std::uint64_t>(i + 1));
+      std::swap(span[i], span[j]);
+    }
+  }
+}
+
+void Scheduler::apply_crash_events(int round) {
+  while (next_crash_event_ < crash_events_.size() &&
+         crash_events_[next_crash_event_].round <= round) {
+    const CrashEvent& ev = crash_events_[next_crash_event_++];
+    const size_t vi = static_cast<size_t>(ev.v);
+    if (ev.down) {
+      node_down_[vi] = 1;
+      ++stats_.crashed_nodes;
+      if (options_.fault.restart_after > 0) ++waiting_restarts_;
+    } else {
+      node_down_[vi] = 0;
+      --waiting_restarts_;
+      // Wake the survivor: it is invoked next round (state intact) so it
+      // can resume announcing / retransmitting.
+      non_quiescent_.push_back(ev.v);
+    }
+  }
+}
+
+void Scheduler::reliable_send(VertexId from, int link_base, int link_index,
+                              std::span<const Incidence> links,
+                              const Message& msg) {
+  LN_ASSERT_MSG(
+      link_index >= 0 && static_cast<size_t>(link_index) < links.size(),
+      "link index out of range");
+  LN_REQUIRE(!options_.strict_congest,
+             "reliable transport frames exceed the strict one-message "
+             "budget; run with strict_congest = false");
+  LN_ASSERT_MSG(msg.ext_size == 0, "reliable sends must be standard messages");
+  if (!transport_) transport_ = std::make_unique<ReliableTransport>(*this);
+  transport_->send(from, link_base + link_index, link_index, msg);
 }
 
 void Scheduler::build_active_set(int round) {
   active_.clear();
   const VertexId n = static_cast<VertexId>(network_->num_nodes());
   if (options_.full_sweep || round == 0) {
-    for (VertexId v = 0; v < n; ++v) active_.push_back(v);
+    for (VertexId v = 0; v < n; ++v)
+      if (!fault_ || !node_down_[static_cast<size_t>(v)]) active_.push_back(v);
     return;
   }
   const auto add = [this](VertexId v) {
+    if (fault_ && node_down_[static_cast<size_t>(v)]) return;
     if (!in_active_[static_cast<size_t>(v)]) {
       in_active_[static_cast<size_t>(v)] = 1;
       active_.push_back(v);
     }
   };
   for (VertexId v : non_quiescent_) add(v);
-  for (VertexId v : current_mail_) add(v);
+  // A recipient whose whole inbox was dropped or consumed by the transport
+  // has nothing to react to — leaving it asleep keeps the faulty active set
+  // identical to what a fault-free run with those sends missing would do.
+  for (VertexId v : current_mail_)
+    if (inbox_len_[static_cast<size_t>(v)] != 0) add(v);
   for (VertexId v : idle_riders_) add(v);
   // Ascending id keeps send interleaving — and therefore inbox order and
   // every stat — identical to the full sweep.
@@ -220,18 +333,28 @@ CostStats Scheduler::run() {
   ctx.scheduler_ = this;
 
   for (int round = 0;; ++round) {
-    LN_ASSERT_MSG(round < options_.max_rounds,
-                  "scheduler round cap exceeded (non-terminating program?)");
+    if (round >= options_.max_rounds) {
+      // Graceful abort: callers get the ledger and whatever partial state
+      // the programs hold; api::run_with_outcome turns this into
+      // RunOutcome::aborted instead of tearing the process down.
+      stats_.rounds_capped = 1;
+      break;
+    }
     ctx.round_ = round;
 
     // Fold the previous round's congestion window into the stats.
     flush_edge_loads();
 
+    if (fault_) apply_crash_events(round);
+
     // Deliver messages queued last round.
-    deliver_stage();
+    deliver_stage(round);
+    if (transport_) transport_->process_inbound(round);
 
     build_active_set(round);
     non_quiescent_.clear();
+    if (round > 0 && active_.empty() && (fault_ || transport_))
+      ++stats_.rounds_lost;  // clock ticks spent only on timers / restarts
     for (VertexId v : active_) {
       const size_t vi = static_cast<size_t>(v);
       ctx.self_ = v;
@@ -243,9 +366,12 @@ CostStats Scheduler::run() {
       programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
       if (!programs_[vi]->quiescent()) non_quiescent_.push_back(v);
     }
+    if (transport_) transport_->tick();
 
     stats_.rounds = static_cast<std::uint64_t>(round) + 1;
-    if (non_quiescent_.empty() && in_flight_ == 0) break;
+    if (non_quiescent_.empty() && in_flight_ == 0 && waiting_restarts_ == 0 &&
+        (!transport_ || !transport_->pending()))
+      break;
   }
   // Account the final round's congestion window (no-op unless a program
   // sent without raising in_flight past the quiescence check — kept for

@@ -36,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "congest/fault.h"
 #include "congest/message.h"
 #include "congest/network.h"
 #include "congest/stats.h"
@@ -43,6 +44,7 @@
 namespace lightnet::congest {
 
 class NodeContext;
+class ReliableTransport;
 
 class NodeProgram {
  public:
@@ -90,6 +92,15 @@ class NodeContext {
   void send_words_on_link(int link_index, std::uint32_t tag,
                           std::span<const std::uint64_t> words);
 
+  // Reliable form of send_on_link: the message is framed with a sequence
+  // number and shipped through the scheduler's stop-and-wait transport
+  // (congest/reliable.h) — delivered exactly once and in order even under
+  // an active FaultPlan, at the cost of acks and retransmissions that are
+  // charged honestly to the ledger. Requires strict_congest = false (the
+  // 2-word frame header exceeds the one-message budget). The receiver
+  // needs no changes: the payload arrives unwrapped with its original tag.
+  void reliable_send_on_link(int link_index, const Message& msg);
+
   // Flood form of send_words_on_link: one batched message on EVERY link.
   // The payload is written to the arena once and shared by all deg(v)
   // messages (each still charged its full word count in CostStats), so a
@@ -120,9 +131,14 @@ class NodeContext {
 };
 
 struct SchedulerOptions {
-  // Hard cap on rounds; exceeding it is an LN_ASSERT failure (indicates a
-  // non-terminating program).
+  // Hard cap on rounds. Exceeding it stops the execution gracefully: the
+  // run returns whatever the programs computed so far and the cost ledger,
+  // with CostStats::rounds_capped set so callers can surface an aborted
+  // RunOutcome instead of dying mid-experiment.
   int max_rounds = 1'000'000;
+  // Deterministic fault injection (congest/fault.h). The zero plan is the
+  // fault-free fast path — no per-delivery overhead at all.
+  FaultPlan fault;
   // Abort if any directed edge carries more than one message in one round.
   bool strict_congest = true;
   // Invoke every program every round instead of only the active set. The
@@ -142,6 +158,7 @@ class Scheduler {
   Scheduler(const Network& network,
             std::vector<std::unique_ptr<NodeProgram>> programs,
             SchedulerOptions options = {});
+  ~Scheduler();  // out of line: ReliableTransport is incomplete here
 
   // Runs rounds until global quiescence; returns the cost.
   CostStats run();
@@ -156,6 +173,7 @@ class Scheduler {
 
  private:
   friend class NodeContext;
+  friend class ReliableTransport;
 
   // Staged outgoing message: recipient plus the Delivery it will see.
   struct Pending {
@@ -185,9 +203,17 @@ class Scheduler {
   void flush_edge_loads();
   // Counting-sort scatter of stage_ into the arena; fills inbox_start_/
   // inbox_len_ for this round's recipients (current_mail_).
-  void deliver_stage();
+  void deliver_stage(int round);
   // Composes the sorted list of nodes to invoke this round.
   void build_active_set(int round);
+  // Fault hooks (no-ops unless options_.fault.enabled()).
+  void apply_faults(int round);        // filters deliver_buf_ before scatter
+  void apply_reorder(int round);       // permutes inbox spans after scatter
+  void apply_crash_events(int round);  // crash/restart transitions
+  // Entry point for NodeContext::reliable_send_on_link; creates the
+  // transport lazily on first use.
+  void reliable_send(VertexId from, int link_base, int link_index,
+                     std::span<const Incidence> links, const Message& msg);
 
   const Network* network_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
@@ -217,6 +243,23 @@ class Scheduler {
   // Per-round congestion tracking: messages sent on each directed edge.
   std::vector<std::uint32_t> edge_load_;  // indexed by 2*edge + direction
   std::vector<EdgeId> touched_edges_;
+
+  // --- fault injection (allocated only when options_.fault.enabled()) ---
+  std::unique_ptr<FaultModel> fault_;
+  std::vector<std::uint32_t> fault_seq_;  // per-dir-slot msg_index counters
+  std::vector<std::uint32_t> fault_touched_;  // dir slots to reset
+  std::vector<std::uint8_t> node_down_;       // crashed right now
+  struct CrashEvent {
+    int round;
+    VertexId v;
+    bool down;  // false = restart
+  };
+  std::vector<CrashEvent> crash_events_;  // sorted by (round, v)
+  size_t next_crash_event_ = 0;
+  int waiting_restarts_ = 0;  // down nodes that will come back
+
+  // --- reliable transport (created lazily on first reliable send) ---
+  std::unique_ptr<ReliableTransport> transport_;
 };
 
 // Convenience: instantiate `Program` (constructed from (VertexId, Args...))

@@ -41,6 +41,16 @@ std::string to_json(const CostStats& cost) {
   out += ",\"messages\":" + std::to_string(cost.messages);
   out += ",\"words\":" + std::to_string(cost.words);
   out += ",\"max_edge_load\":" + std::to_string(cost.max_edge_load);
+  if (cost.dropped != 0)
+    out += ",\"dropped\":" + std::to_string(cost.dropped);
+  if (cost.retransmitted != 0)
+    out += ",\"retransmitted\":" + std::to_string(cost.retransmitted);
+  if (cost.rounds_lost != 0)
+    out += ",\"rounds_lost\":" + std::to_string(cost.rounds_lost);
+  if (cost.crashed_nodes != 0)
+    out += ",\"crashed_nodes\":" + std::to_string(cost.crashed_nodes);
+  if (cost.rounds_capped != 0)
+    out += ",\"rounds_capped\":" + std::to_string(cost.rounds_capped);
   out += "}";
   return out;
 }

@@ -32,6 +32,14 @@ struct CostStats {
   // tests assert exactly that.
   std::uint64_t inbox_reallocs = 0;
 
+  // Robustness counters — all zero on a fault-free run (and then omitted
+  // from the JSON, so fault-free records keep their historical schema).
+  std::uint64_t dropped = 0;        // deliveries lost to fault injection
+  std::uint64_t retransmitted = 0;  // reliable-transport retransmissions
+  std::uint64_t rounds_lost = 0;    // rounds spent only on timers/restarts
+  std::uint64_t crashed_nodes = 0;  // crash events applied
+  std::uint64_t rounds_capped = 0;  // 1 if the run hit max_rounds (aborted)
+
   CostStats& operator+=(const CostStats& o) {
     rounds += o.rounds;
     messages += o.messages;
@@ -39,13 +47,19 @@ struct CostStats {
     max_edge_load = max_edge_load > o.max_edge_load ? max_edge_load
                                                     : o.max_edge_load;
     inbox_reallocs += o.inbox_reallocs;
+    dropped += o.dropped;
+    retransmitted += o.retransmitted;
+    rounds_lost += o.rounds_lost;
+    crashed_nodes += o.crashed_nodes;
+    rounds_capped += o.rounds_capped;
     return *this;
   }
 };
 
 // {"rounds":..,"messages":..,"words":..,"max_edge_load":..} — the model
 // costs only; inbox_reallocs is simulator instrumentation and stays out of
-// the experiment records.
+// the experiment records. The robustness counters are appended only when
+// nonzero, so fault-free output is byte-identical to what it always was.
 std::string to_json(const CostStats& cost);
 
 // Named phase costs; `total()` is what benches report, the per-phase

@@ -75,12 +75,13 @@ class BoundedProgram final : public NodeProgram {
   // a cold source, the boundary-shell records for a warm start.
   // `min_incident`: smallest incident rounded weight (sender-side pruning).
   BoundedProgram(VertexId self, Weight radius, Weight min_incident,
-                 bool batched, std::vector<SourceTable>& state,
+                 bool batched, bool reliable, std::vector<SourceTable>& state,
                  std::vector<VertexId> initial_pending)
       : self_(self),
         radius_(radius),
         min_incident_(min_incident),
         batched_(batched),
+        reliable_(reliable),
         state_(state),
         pending_(std::move(initial_pending)) {}
 
@@ -134,7 +135,11 @@ class BoundedProgram final : public NodeProgram {
       const auto it = table_find(table, s);
       const Message msg(kTagBounded, {static_cast<std::uint64_t>(s),
                                       Message::encode_weight(it->dist)});
-      for (int i = 0; i < degree; ++i) ctx.send_on_link(i, msg);
+      // Reliable mode ships the same encoding through the transport; the
+      // canonical relax_edge fixed point absorbs whatever delay/order the
+      // retransmissions introduce.
+      for (int i = 0; i < degree; ++i)
+        reliable_ ? ctx.reliable_send_on_link(i, msg) : ctx.send_on_link(i, msg);
     }
   }
 
@@ -150,6 +155,7 @@ class BoundedProgram final : public NodeProgram {
   Weight radius_;
   Weight min_incident_;
   bool batched_;
+  bool reliable_;
   std::vector<SourceTable>& state_;
   std::vector<VertexId> pending_;  // sorted source ids awaiting announcement
   std::vector<std::uint64_t> words_buf_;
@@ -187,33 +193,32 @@ namespace {
 void run_bounded_kernel(const RoundedSubstrate& substrate, Weight radius,
                         std::vector<std::vector<VertexId>> pending0,
                         congest::SchedulerOptions sched,
-                        BoundedMultiSourceResult& result) {
+                        BoundedMultiSourceResult& result,
+                        bool reliable = false) {
   const int n = substrate.rounded.num_vertices();
   const bool batched = !sched.legacy_unbatched;
   // The batched encoding is multi-word by design; its honest bandwidth
   // lives in CostStats::words and max_edge_load, so the one-message strict
-  // check must not abort it. Legacy mode keeps whatever the caller set.
-  if (batched) sched.strict_congest = false;
+  // check must not abort it. Legacy mode keeps whatever the caller set,
+  // except that reliable transport frames also need the relaxed budget.
+  if (batched || reliable) sched.strict_congest = false;
 
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(static_cast<size_t>(n));
   for (VertexId v = 0; v < n; ++v)
     programs.push_back(std::make_unique<BoundedProgram>(
         v, radius, substrate.min_incident_weight[static_cast<size_t>(v)],
-        batched, result.table, std::move(pending0[static_cast<size_t>(v)])));
+        batched, reliable, result.table,
+        std::move(pending0[static_cast<size_t>(v)])));
   congest::Scheduler scheduler(substrate.network, std::move(programs), sched);
   result.cost = scheduler.run();
   finalize_tables(result);
 }
 
-}  // namespace
-
-BoundedMultiSourceResult bounded_multi_source_paths(
-    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
-    Weight radius, congest::SchedulerOptions sched) {
-  const WeightedGraph& h = substrate.rounded;
-  const int n = h.num_vertices();
-  BoundedMultiSourceResult result;
+// Cold-start seeding: zero-distance records at the sources, each announced
+// in round 0.
+std::vector<std::vector<VertexId>> seed_cold_sources(
+    std::span<const VertexId> sources, int n, BoundedMultiSourceResult& result) {
   result.table.resize(static_cast<size_t>(n));
   std::vector<std::vector<VertexId>> pending0(static_cast<size_t>(n));
   for (VertexId s : sources) {
@@ -227,7 +232,30 @@ BoundedMultiSourceResult bounded_multi_source_paths(
       pending0[static_cast<size_t>(s)].push_back(s);
     }
   }
+  return pending0;
+}
+
+}  // namespace
+
+BoundedMultiSourceResult bounded_multi_source_paths(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, congest::SchedulerOptions sched) {
+  BoundedMultiSourceResult result;
+  auto pending0 =
+      seed_cold_sources(sources, substrate.rounded.num_vertices(), result);
   run_bounded_kernel(substrate, radius, std::move(pending0), sched, result);
+  return result;
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths_reliable(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, congest::SchedulerOptions sched) {
+  sched.legacy_unbatched = true;  // one standard message per announcement
+  BoundedMultiSourceResult result;
+  auto pending0 =
+      seed_cold_sources(sources, substrate.rounded.num_vertices(), result);
+  run_bounded_kernel(substrate, radius, std::move(pending0), sched, result,
+                     /*reliable=*/true);
   return result;
 }
 

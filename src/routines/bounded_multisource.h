@@ -77,6 +77,17 @@ BoundedMultiSourceResult bounded_multi_source_paths(
     const RoundedSubstrate& substrate, std::span<const VertexId> sources,
     Weight radius, congest::SchedulerOptions sched = {});
 
+// Retransmit-aware variant for faulty networks: the legacy one-source-per-
+// round encoding with every announcement shipped through the reliable
+// transport (congest/reliable.h). Because relax_edge keeps the canonical
+// fixed point regardless of offer arrival order, the tables are
+// bit-identical to a fault-free run whenever every node stays reachable —
+// drops only cost retransmissions, which the ledger reports. Forces
+// legacy_unbatched = true and strict_congest = false.
+BoundedMultiSourceResult bounded_multi_source_paths_reliable(
+    const RoundedSubstrate& substrate, std::span<const VertexId> sources,
+    Weight radius, congest::SchedulerOptions sched = {});
+
 // Incremental (cross-scale) exploration: `prev` must be this function's (or
 // the cold variant's) result on the same substrate at `prev_radius` ≤
 // `radius`. Records for sources no longer in `sources` are pruned (charged

@@ -64,10 +64,10 @@ void expect_same_artifact(const Artifact& a, const Artifact& b,
 
 TEST(Registry, CoversAllConstructions) {
   const auto& all = api::all_constructions();
-  EXPECT_EQ(all.size(), 11u);
+  EXPECT_EQ(all.size(), 12u);
   for (const char* name :
        {"slt", "slt_light", "light_spanner", "doubling_spanner", "net",
-        "mst_weight_estimate", "baswana_sen", "elkin_neiman",
+        "mst_weight_estimate", "baswana_sen", "elkin_neiman", "bfs_tree",
         "greedy_spanner", "kry_slt", "sequential_net"})
     EXPECT_NE(api::find_construction(name), nullptr) << name;
   EXPECT_EQ(api::find_construction("nope"), nullptr);

@@ -1,0 +1,157 @@
+// Reliable-transport tests (congest/reliable.h):
+//  (1) on a clean network the reliable BFS matches the plain BFS tree
+//      bit-for-bit and never retransmits;
+//  (2) over a lossy network it converges to the SAME tree (the canonical
+//      fixpoint) and the retransmission counter matches the drop counter —
+//      stop-and-wait turns every dropped frame or ack into exactly one
+//      retransmission;
+//  (3) the bounded multi-source tables survive drops unchanged (relax_edge
+//      keeps the canonical fixed point regardless of offer arrival order);
+//  (4) heavy loss (25%) still converges; loss on down links (link_fail
+//      intervals) still converges.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "congest/bfs.h"
+#include "congest/scheduler.h"
+#include "graph/generators.h"
+#include "routines/approx_spt.h"
+#include "routines/bounded_multisource.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+using congest::BfsTreeResult;
+using congest::SchedulerOptions;
+using congest::build_bfs_tree;
+using congest::build_bfs_tree_reliable;
+
+void expect_same_tree(const BfsTreeResult& a, const BfsTreeResult& b,
+                      const std::string& context) {
+  EXPECT_EQ(a.parent, b.parent) << context;
+  EXPECT_EQ(a.depth, b.depth) << context;
+  EXPECT_EQ(a.height, b.height) << context;
+  EXPECT_EQ(a.reached, b.reached) << context;
+}
+
+void expect_same_tables(const BoundedMultiSourceResult& a,
+                        const BoundedMultiSourceResult& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.table.size(), b.table.size()) << context;
+  for (size_t v = 0; v < a.table.size(); ++v) {
+    ASSERT_EQ(a.table[v].size(), b.table[v].size()) << context << " v=" << v;
+    for (size_t i = 0; i < a.table[v].size(); ++i) {
+      const auto& ea = a.table[v][i];
+      const auto& eb = b.table[v][i];
+      EXPECT_EQ(ea.source, eb.source) << context << " v=" << v;
+      EXPECT_EQ(ea.dist, eb.dist) << context << " v=" << v;
+      EXPECT_EQ(ea.parent, eb.parent) << context << " v=" << v;
+      EXPECT_EQ(ea.parent_edge, eb.parent_edge) << context << " v=" << v;
+    }
+  }
+  EXPECT_EQ(a.max_sources_per_vertex, b.max_sources_per_vertex) << context;
+}
+
+TEST(ReliableBfs, CleanNetworkMatchesPlainBfsWithoutRetransmits) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const BfsTreeResult plain = build_bfs_tree(g, 0);
+    const BfsTreeResult reliable = build_bfs_tree_reliable(g, 0);
+    expect_same_tree(plain, reliable, name);
+    EXPECT_EQ(reliable.cost.retransmitted, 0u) << name;
+    EXPECT_EQ(reliable.cost.dropped, 0u) << name;
+  }
+}
+
+TEST(ReliableBfs, LossyNetworkConvergesToTheFaultFreeTree) {
+  SchedulerOptions lossy;
+  lossy.fault.seed = 7;
+  lossy.fault.drop = 0.05;
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const BfsTreeResult plain = build_bfs_tree(g, 0);
+    const BfsTreeResult recovered = build_bfs_tree_reliable(g, 0, lossy);
+    expect_same_tree(plain, recovered, name);
+    // Every drop costs exactly one retransmission under stop-and-wait.
+    EXPECT_EQ(recovered.cost.retransmitted, recovered.cost.dropped) << name;
+  }
+}
+
+TEST(ReliableBfs, HeavyLossStillConverges) {
+  const WeightedGraph g = grid(6, 6, /*perturb=*/true, 15);
+  SchedulerOptions heavy;
+  heavy.fault.seed = 13;
+  heavy.fault.drop = 0.25;
+  const BfsTreeResult plain = build_bfs_tree(g, 0);
+  const BfsTreeResult recovered = build_bfs_tree_reliable(g, 0, heavy);
+  expect_same_tree(plain, recovered, "grid6x6/drop25");
+  EXPECT_GT(recovered.cost.dropped, 0u);
+  EXPECT_EQ(recovered.cost.retransmitted, recovered.cost.dropped);
+  // Recovery costs rounds: the lossy run cannot be faster than the flood.
+  EXPECT_GE(recovered.cost.rounds, plain.cost.rounds);
+}
+
+TEST(ReliableBfs, LinkOutagesStillConverge) {
+  // link_fail downs whole (edge, interval) windows; retransmission backoff
+  // (rto up to 32 > link_period) rides out the outage.
+  const WeightedGraph g =
+      erdos_renyi(24, 0.25, WeightLaw::kUniform, 20.0, 17);
+  SchedulerOptions outages;
+  outages.fault.seed = 21;
+  outages.fault.link_fail = 0.2;
+  outages.fault.link_period = 8;
+  const BfsTreeResult plain = build_bfs_tree(g, 0);
+  const BfsTreeResult recovered = build_bfs_tree_reliable(g, 0, outages);
+  expect_same_tree(plain, recovered, "er24/link_fail");
+}
+
+TEST(ReliableBfs, RootedAwayFromZero) {
+  const WeightedGraph g = path_graph(10, WeightLaw::kUniform, 10.0, 11);
+  SchedulerOptions lossy;
+  lossy.fault.seed = 3;
+  lossy.fault.drop = 0.1;
+  const BfsTreeResult plain = build_bfs_tree(g, 9);
+  const BfsTreeResult recovered = build_bfs_tree_reliable(g, 9, lossy);
+  expect_same_tree(plain, recovered, "path10/root9");
+}
+
+TEST(ReliableBoundedMultiSource, TablesMatchFaultFreeUnderDrops) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const RoundedSubstrate substrate(g, 0.1);
+    const std::vector<VertexId> sources = {0, g.num_vertices() / 2};
+    const Weight radius = 30.0;
+
+    SchedulerOptions legacy;
+    legacy.legacy_unbatched = true;
+    const BoundedMultiSourceResult clean =
+        bounded_multi_source_paths(substrate, sources, radius, legacy);
+
+    SchedulerOptions lossy;
+    lossy.fault.seed = 7;
+    lossy.fault.drop = 0.05;
+    const BoundedMultiSourceResult recovered =
+        bounded_multi_source_paths_reliable(substrate, sources, radius,
+                                            lossy);
+    expect_same_tables(clean, recovered, name);
+    EXPECT_EQ(recovered.cost.retransmitted, recovered.cost.dropped) << name;
+  }
+}
+
+TEST(ReliableBoundedMultiSource, CleanRunMatchesLegacyEncoding) {
+  const WeightedGraph g =
+      erdos_renyi(24, 0.25, WeightLaw::kUniform, 20.0, 17);
+  const RoundedSubstrate substrate(g, 0.1);
+  const std::vector<VertexId> sources = {1, 5, 12};
+  SchedulerOptions legacy;
+  legacy.legacy_unbatched = true;
+  const BoundedMultiSourceResult a =
+      bounded_multi_source_paths(substrate, sources, 25.0, legacy);
+  const BoundedMultiSourceResult b = bounded_multi_source_paths_reliable(
+      substrate, sources, 25.0, SchedulerOptions{});
+  expect_same_tables(a, b, "er24/clean");
+  EXPECT_EQ(b.cost.retransmitted, 0u);
+}
+
+}  // namespace
+}  // namespace lightnet
