@@ -23,6 +23,7 @@ struct ParsedSpec {
   ConstructionParams params;
   ScenarioSpec scenario;  // knob template; family/law/n/seed set per run
   congest::FaultPlan fault;
+  std::vector<int> thread_counts;
   bool full_sweep = false;
   bool quality = true;
   bool list_only = false;
@@ -129,6 +130,19 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
       spec.scenario.geo_radius = std::atof(value.c_str());
     } else if (key == "chord_weight") {
       spec.scenario.chord_weight = std::atof(value.c_str());
+    } else if (key == "threads") {
+      // Comma-list sweep over scheduler worker counts, e.g. threads=1,4.
+      // Every count must produce byte-identical records (wall_ms aside) —
+      // the determinism contract CI checks by diffing sweeps.
+      for (const std::string& v : split_csv(value)) {
+        const int t = std::atoi(v.c_str());
+        if (t < 1) {
+          std::fprintf(err, "lightnet_cli: invalid thread count '%s'\n",
+                       v.c_str());
+          return false;
+        }
+        spec.thread_counts.push_back(t);
+      }
     } else if (key == "full_sweep") {
       spec.full_sweep = value != "0";
     } else if (key == "quality") {
@@ -210,6 +224,7 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
     }
   }
   if (spec.constructions.empty()) spec.constructions = all_constructions();
+  if (spec.thread_counts.empty()) spec.thread_counts = {1};
   if (spec.topologies.empty()) spec.topologies = {"er"};
   if (spec.ns.empty()) spec.ns = {64};
   if (spec.seeds.empty()) spec.seeds = {1};
@@ -309,10 +324,12 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
           }
           const int hop_diameter = g.hop_diameter();
           for (const Construction* c : spec.constructions) {
+          for (const int threads : spec.thread_counts) {
             RunContext ctx;
             ctx.seed = seed;
             ctx.sched.full_sweep = spec.full_sweep;
             ctx.sched.fault = spec.fault;
+            ctx.sched.threads = threads;
             const bool faulty = spec.fault.enabled();
             const auto start = std::chrono::steady_clock::now();
             Artifact artifact;
@@ -357,6 +374,10 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
             line += ",\"seed\":" + std::to_string(seed);
             line += ",\"full_sweep\":" +
                     std::string(spec.full_sweep ? "true" : "false");
+            // Emitted only off the serial default so threads=1 records stay
+            // byte-identical to historical output (and so a threads sweep
+            // can be diffed against serial after stripping this one field).
+            if (threads != 1) line += ",\"threads\":" + std::to_string(threads);
             line += ",\"params\":" + params_json(spec.params);
             line += ",\"graph\":{\"vertices\":" +
                     std::to_string(g.num_vertices()) +
@@ -385,6 +406,7 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
             line += "}\n";
             std::fputs(line.c_str(), out);
             std::fflush(out);
+          }
           }
         }
       }

@@ -47,6 +47,16 @@ struct RunContext {
     c.seed = s;
     return c;
   }
+
+  // Same run on `t` scheduler worker threads. Artifacts, ledgers and
+  // records are bit-identical across thread counts (the scheduler's
+  // parallel determinism contract), so drivers sweep this knob freely;
+  // entry points that need the serial reliable transport clamp it back.
+  RunContext with_threads(int t) const {
+    RunContext c = *this;
+    c.sched.threads = t;
+    return c;
+  }
 };
 
 // Deposits `ledger` into ctx.ledger_sink under `prefix` if a sink is

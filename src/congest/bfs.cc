@@ -143,6 +143,7 @@ BfsTreeResult build_bfs_tree(const WeightedGraph& g, VertexId root,
 BfsTreeResult build_bfs_tree_reliable(const WeightedGraph& g, VertexId root,
                                       SchedulerOptions sched_options) {
   sched_options.strict_congest = false;
+  sched_options.threads = 1;  // the transport's link state machine is serial
   return run_bfs<ReliableBfsProgram>(g, root, sched_options);
 }
 

@@ -34,6 +34,34 @@ Network::Network(const WeightedGraph& g) : graph_(&g) {
   }
 }
 
+std::vector<Network::ShardView> Network::shard_views(int parts) const {
+  const int n = num_nodes();
+  const std::int64_t total_links = offsets_[static_cast<size_t>(n)];
+  std::vector<ShardView> shards(static_cast<size_t>(parts));
+  VertexId cursor = 0;
+  for (int s = 0; s < parts; ++s) {
+    ShardView& view = shards[static_cast<size_t>(s)];
+    view.begin = cursor;
+    if (s + 1 == parts) {
+      view.end = n;
+    } else {
+      // Walk to the degree-balanced cut for this shard, then align down to
+      // a 64-vertex boundary (never below begin, so shards stay contiguous
+      // and cover the range exactly).
+      const std::int64_t target = total_links * (s + 1) / parts;
+      VertexId cut = cursor;
+      while (cut < n && offsets_[static_cast<size_t>(cut) + 1] <= target)
+        ++cut;
+      cut = std::max(cursor, cut & ~VertexId{63});
+      view.end = cut;
+    }
+    view.link_begin = offsets_[static_cast<size_t>(view.begin)];
+    view.link_end = offsets_[static_cast<size_t>(view.end)];
+    cursor = view.end;
+  }
+  return shards;
+}
+
 int Network::link_index(VertexId u, VertexId v) const {
   const auto begin =
       sorted_.begin() + offsets_[static_cast<size_t>(u)];

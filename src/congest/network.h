@@ -50,6 +50,26 @@ class Network {
     return dir_slot_[static_cast<size_t>(flat_link)];
   }
 
+  // Shard-local view for parallel execution: a contiguous vertex range and
+  // the CSR span of its links. Shards are the unit of recipient ownership in
+  // the parallel scheduler — a delivery worker owns every inbox, frontier
+  // bit, and fault-sequence slot of exactly one shard.
+  struct ShardView {
+    VertexId begin = 0;  // first vertex of the shard
+    VertexId end = 0;    // one past the last vertex
+    int link_begin = 0;  // CSR offset of begin's first link
+    int link_end = 0;    // CSR offset past end-1's last link
+  };
+
+  // Cuts the vertex range into `parts` contiguous shards balanced by
+  // incident-link count (degree-weighted, so a handful of heavy vertices
+  // doesn't starve the other workers). Every boundary except the last is
+  // aligned down to a multiple of 64 vertices: two shards never share a
+  // frontier-bitmap word, which lets delivery workers mark their own
+  // shard's bits without atomics. Trailing shards may be empty on tiny
+  // graphs.
+  std::vector<ShardView> shard_views(int parts) const;
+
  private:
   // Sidecar entry: neighbor id and the local link index it resolves to.
   struct SortedLink {

@@ -40,7 +40,7 @@ void ReliableTransport::transmit_head(LinkState& st, int flat) {
   words[0] = seq;
   words[1] = (static_cast<std::uint64_t>(msg.size) << 32) | msg.tag;
   for (int i = 0; i < msg.size; ++i) words[2 + i] = msg.words[i];
-  scheduler_->enqueue_words(st.owner, inc.neighbor, inc.edge,
+  scheduler_->enqueue_words(/*lane=*/0, st.owner, inc.neighbor, inc.edge,
                             scheduler_->network_->dir_slot(flat),
                             kTagReliableData,
                             {words, static_cast<size_t>(2 + msg.size)});
@@ -113,8 +113,8 @@ void ReliableTransport::process_inbound(int round) {
       ack.tag = kTagReliableAck;
       ack.words[ack.size++] = st.recv_next;
       if (node_down.empty() || !node_down[vi]) {
-        scheduler_->enqueue_resolved(v, d.from, d.edge, net.dir_slot(flat),
-                                     ack);
+        scheduler_->enqueue_resolved(/*lane=*/0, v, d.from, d.edge,
+                                     net.dir_slot(flat), ack);
       }
     }
     scheduler_->inbox_len_[vi] = w;

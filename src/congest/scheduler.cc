@@ -1,9 +1,12 @@
 #include "congest/scheduler.h"
 
 #include <algorithm>
+#include <bit>
 #include <climits>
+#include <cstring>
 
 #include "congest/reliable.h"
+#include "congest/worker_pool.h"
 #include "support/assert.h"
 #include "support/rng.h"
 
@@ -13,7 +16,7 @@ void NodeContext::send(VertexId neighbor, const Message& msg) {
   const int li = network_->link_index(self_, neighbor);
   LN_ASSERT_MSG(li >= 0, "send target is not a neighbor");
   const std::uint32_t slot = network_->dir_slot(link_base_ + li);
-  scheduler_->enqueue_resolved(self_, neighbor,
+  scheduler_->enqueue_resolved(lane_, self_, neighbor,
                                static_cast<EdgeId>(slot >> 1), slot, msg);
 }
 
@@ -23,7 +26,7 @@ void NodeContext::send_on_link(int link_index, const Message& msg) {
       "link index out of range");
   const Incidence& inc = links_[static_cast<size_t>(link_index)];
   const std::uint32_t slot = network_->dir_slot(link_base_ + link_index);
-  scheduler_->enqueue_resolved(self_, inc.neighbor, inc.edge, slot, msg);
+  scheduler_->enqueue_resolved(lane_, self_, inc.neighbor, inc.edge, slot, msg);
 }
 
 void NodeContext::send_words_on_link(int link_index, std::uint32_t tag,
@@ -33,12 +36,13 @@ void NodeContext::send_words_on_link(int link_index, std::uint32_t tag,
       "link index out of range");
   const Incidence& inc = links_[static_cast<size_t>(link_index)];
   const std::uint32_t slot = network_->dir_slot(link_base_ + link_index);
-  scheduler_->enqueue_words(self_, inc.neighbor, inc.edge, slot, tag, words);
+  scheduler_->enqueue_words(lane_, self_, inc.neighbor, inc.edge, slot, tag,
+                            words);
 }
 
 void NodeContext::broadcast_words(std::uint32_t tag,
                                   std::span<const std::uint64_t> words) {
-  scheduler_->broadcast_words(self_, link_base_, links_, tag, words);
+  scheduler_->broadcast_words(lane_, self_, link_base_, links_, tag, words);
 }
 
 void NodeContext::reliable_send_on_link(int link_index, const Message& msg) {
@@ -48,14 +52,24 @@ void NodeContext::reliable_send_on_link(int link_index, const Message& msg) {
 std::span<const std::uint64_t> NodeContext::payload(const Message& msg) const {
   if (msg.ext_size == 0)
     return {msg.words.data(), static_cast<size_t>(msg.size)};
-  return {scheduler_->deliver_words_.data() + msg.ext_offset,
+  if (scheduler_->lanes_.empty())
+    return {scheduler_->deliver_words_.data() + msg.ext_offset,
+            static_cast<size_t>(msg.ext_size)};
+  // Parallel runs pack the staging lane into the offset's top bits; the
+  // payload lives in that lane's delivery-side word arena.
+  const std::uint32_t lane = msg.ext_offset >> Scheduler::kLaneShift;
+  const std::uint32_t off = msg.ext_offset & Scheduler::kLaneOffsetMask;
+  return {scheduler_->lanes_[lane].dwords.data() + off,
           static_cast<size_t>(msg.ext_size)};
 }
 
 Scheduler::Scheduler(const Network& network,
                      std::vector<std::unique_ptr<NodeProgram>> programs,
                      SchedulerOptions options)
-    : network_(&network), programs_(std::move(programs)), options_(options) {
+    : network_(&network),
+      num_nodes_(network.num_nodes()),
+      programs_(std::move(programs)),
+      options_(options) {
   LN_REQUIRE(static_cast<int>(programs_.size()) == network.num_nodes(),
              "one program per node required");
   const size_t n = programs_.size();
@@ -63,11 +77,36 @@ Scheduler::Scheduler(const Network& network,
   inbox_len_.assign(n, 0);
   recv_count_.assign(n, 0);
   has_mail_.assign(n, 0);
-  in_active_.assign(n, 0);
+  frontier_.reset(static_cast<int>(n));
+  active_.reset(static_cast<int>(n));
   edge_load_.assign(static_cast<size_t>(network.graph().num_edges()) * 2, 0);
   for (VertexId v = 0; v < static_cast<VertexId>(n); ++v)
     if (programs_[static_cast<size_t>(v)]->wants_idle_rounds())
       idle_riders_.push_back(v);
+
+  options_.threads = std::clamp(options_.threads, 1, kMaxLanes);
+  if (options_.threads > 1) {
+    const int t = options_.threads;
+    pool_ = std::make_unique<WorkerPool>(t);
+    const auto views = network.shard_views(t);
+    shards_.resize(static_cast<size_t>(t));
+    shard_of_.assign(n, 0);
+    for (int s = 0; s < t; ++s) {
+      shards_[static_cast<size_t>(s)].begin = views[static_cast<size_t>(s)].begin;
+      shards_[static_cast<size_t>(s)].end = views[static_cast<size_t>(s)].end;
+      for (VertexId v = views[static_cast<size_t>(s)].begin;
+           v < views[static_cast<size_t>(s)].end; ++v)
+        shard_of_[static_cast<size_t>(v)] = static_cast<std::uint8_t>(s);
+    }
+    lanes_.resize(static_cast<size_t>(t));
+    for (Lane& lane : lanes_) {
+      lane.out.resize(static_cast<size_t>(t));
+      lane.dout.resize(static_cast<size_t>(t));
+    }
+    shard_arena_base_.resize(static_cast<size_t>(t));
+    shard_totals_.resize(static_cast<size_t>(t));
+    chunk_bounds_.assign(static_cast<size_t>(t) + 1, 0);
+  }
 
   if (options_.fault.enabled()) {
     fault_ = std::make_unique<FaultModel>(options_.fault);
@@ -89,12 +128,20 @@ Scheduler::Scheduler(const Network& network,
 
 Scheduler::~Scheduler() = default;
 
-void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
-                                 std::uint32_t dir_slot, const Message& msg) {
+void Scheduler::enqueue_resolved(int lane, VertexId from, VertexId to,
+                                 EdgeId edge, std::uint32_t dir_slot,
+                                 const Message& msg) {
   LN_ASSERT_MSG(msg.size <= kMaxWords, "message exceeds word budget");
-  const size_t base = static_cast<size_t>(edge) * 2;
-  if (edge_load_[base] == 0 && edge_load_[base + 1] == 0)
-    touched_edges_.push_back(edge);
+  // A directed slot has a single sender, so lanes update the load and the
+  // per-slot touch mark without synchronization. An edge used in both
+  // directions is listed once per direction; flush_edge_loads folds the
+  // duplicate idempotently.
+  if (edge_load_[dir_slot] == 0) {
+    if (lanes_.empty())
+      touched_edges_.push_back(edge);
+    else
+      lanes_[static_cast<size_t>(lane)].touched.push_back(edge);
+  }
   // A w-word message occupies ceil(w / kMaxWords) standard-message slots of
   // the per-round edge budget (1 for every standard message, so the strict
   // check and max_edge_load are unchanged for non-batched programs).
@@ -109,59 +156,84 @@ void Scheduler::enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
                   "CONGEST violation: >1 message on an edge in one round");
   }
   const size_t to_index = static_cast<size_t>(to);
-  if (!has_mail_[to_index]) {
-    has_mail_[to_index] = 1;
-    mail_nodes_.push_back(to);
+  if (lanes_.empty()) {
+    // Serial staging. Recipient-list bookkeeping is skipped after a dense
+    // round: the next delivery reconstructs recipients by scanning
+    // recv_count_ over the vertex range instead.
+    if (!stage_skiplist_ && !has_mail_[to_index]) {
+      has_mail_[to_index] = 1;
+      mail_nodes_.push_back(to);
+    }
+    ++recv_count_[to_index];
+    if (stage_.size() == stage_.capacity()) ++stats_.inbox_reallocs;
+    stage_.push_back({to, {from, edge, msg}});
+    ++in_flight_;
+    ++stats_.messages;
+    stats_.words += static_cast<std::uint64_t>(total);
+  } else {
+    // Parallel staging: into this worker's lane, bucketed by the
+    // recipient's shard so the owning delivery worker can drain it without
+    // contention. Counters are lane-local; folded at the round barrier.
+    Lane& l = lanes_[static_cast<size_t>(lane)];
+    std::vector<Pending>& bucket = l.out[shard_of_[to_index]];
+    if (bucket.size() == bucket.capacity()) ++l.reallocs;
+    bucket.push_back({to, {from, edge, msg}});
+    ++l.messages;
+    l.words_sent += static_cast<std::uint64_t>(total);
   }
-  ++recv_count_[to_index];
-  if (stage_.size() == stage_.capacity()) ++stats_.inbox_reallocs;
-  stage_.push_back({to, {from, edge, msg}});
-  ++in_flight_;
-  ++stats_.messages;
-  stats_.words += static_cast<std::uint64_t>(total);
 }
 
 Message Scheduler::stage_batched_message(
-    std::uint32_t tag, std::span<const std::uint64_t> words) {
+    int lane, std::uint32_t tag, std::span<const std::uint64_t> words) {
   LN_ASSERT(words.size() <= kBatchChunkWords);
   Message msg;
   msg.tag = tag;
   if (words.size() <= static_cast<size_t>(kMaxWords)) {
     for (std::uint64_t w : words) msg.words[msg.size++] = w;
-  } else {
+  } else if (lanes_.empty()) {
     msg.ext_offset = static_cast<std::uint32_t>(stage_words_.size());
     msg.ext_size = static_cast<std::uint16_t>(words.size());
     if (stage_words_.size() + words.size() > stage_words_.capacity())
       ++stats_.inbox_reallocs;
     stage_words_.insert(stage_words_.end(), words.begin(), words.end());
+  } else {
+    Lane& l = lanes_[static_cast<size_t>(lane)];
+    const size_t off = l.words.size();
+    LN_ASSERT_MSG(off + words.size() <= static_cast<size_t>(kLaneOffsetMask) + 1,
+                  "lane word arena exceeds the packed-offset budget");
+    msg.ext_offset = (static_cast<std::uint32_t>(lane) << kLaneShift) |
+                     static_cast<std::uint32_t>(off);
+    msg.ext_size = static_cast<std::uint16_t>(words.size());
+    if (off + words.size() > l.words.capacity()) ++l.reallocs;
+    l.words.insert(l.words.end(), words.begin(), words.end());
   }
   return msg;
 }
 
-void Scheduler::enqueue_words(VertexId from, VertexId to, EdgeId edge,
+void Scheduler::enqueue_words(int lane, VertexId from, VertexId to, EdgeId edge,
                               std::uint32_t dir_slot, std::uint32_t tag,
                               std::span<const std::uint64_t> words) {
   for (size_t off = 0; off == 0 || off < words.size();
        off += kBatchChunkWords) {
     const size_t len = std::min(words.size() - off, kBatchChunkWords);
-    enqueue_resolved(from, to, edge, dir_slot,
-                     stage_batched_message(tag, words.subspan(off, len)));
+    enqueue_resolved(lane, from, to, edge, dir_slot,
+                     stage_batched_message(lane, tag, words.subspan(off, len)));
   }
 }
 
-void Scheduler::broadcast_words(VertexId from, int link_base,
+void Scheduler::broadcast_words(int lane, VertexId from, int link_base,
                                 std::span<const Incidence> links,
                                 std::uint32_t tag,
                                 std::span<const std::uint64_t> words) {
   for (size_t off = 0; off == 0 || off < words.size();
        off += kBatchChunkWords) {
     const size_t len = std::min(words.size() - off, kBatchChunkWords);
-    const Message msg = stage_batched_message(tag, words.subspan(off, len));
+    const Message msg = stage_batched_message(lane, tag, words.subspan(off, len));
     for (size_t i = 0; i < links.size(); ++i) {
       const Incidence& inc = links[i];
       const std::uint32_t slot =
           network_->dir_slot(link_base + static_cast<int>(i));
-      enqueue_resolved(from, inc.neighbor, inc.edge, slot, msg);
+      enqueue_resolved(lane, from, inc.neighbor, inc.edge, slot, msg);
     }
   }
 }
@@ -179,6 +251,10 @@ void Scheduler::flush_edge_loads() {
 }
 
 void Scheduler::deliver_stage(int round) {
+  // Whether stage_ was filled with recipient-list bookkeeping suppressed
+  // (the flag's value while last round's sends were staged).
+  const bool receiver_scan = stage_skiplist_;
+
   // Close out the spans consumed last round; inbox_len_ is all-zero outside
   // the entries of the round's recipients.
   for (VertexId v : current_mail_) inbox_len_[static_cast<size_t>(v)] = 0;
@@ -198,20 +274,46 @@ void Scheduler::deliver_stage(int round) {
   // lets it reach its inbox.
   in_flight_ -= deliver_buf_.size();
   if (fault_) apply_faults(round);
+  const size_t delivered = deliver_buf_.size();
 
   const size_t old_capacity = arena_.capacity();
-  arena_.resize(deliver_buf_.size());
+  arena_.resize(delivered);
   if (arena_.capacity() != old_capacity) ++stats_.inbox_reallocs;
 
   // Counting-sort scatter, stable per recipient so inbox order matches send
-  // order (what the sequential full sweep produced).
+  // order (what the sequential full sweep produced). Offsets come either
+  // from walking the recipient list (sparse rounds) or from a linear scan of
+  // the vertex range (dense rounds, where the scan is cheaper than having
+  // maintained the list at enqueue time) — the receiver-scan direction
+  // rebuilds current_mail_ in ascending order as it goes. Recipient wake
+  // marks ride the same pass, except when a transport must strip its frames
+  // first (run() marks after process_inbound in that case).
+  const bool mark_inline = !options_.full_sweep && !transport_;
   std::uint32_t offset = 0;
-  for (VertexId v : current_mail_) {
-    const size_t vi = static_cast<size_t>(v);
-    inbox_start_[vi] = offset;
-    inbox_len_[vi] = recv_count_[vi];
-    offset += recv_count_[vi];
-    recv_count_[vi] = 0;  // reused as the scatter cursor below
+  if (receiver_scan) {
+    ++stats_.rounds_receiver_scan;
+    const VertexId n = num_nodes_;
+    for (VertexId v = 0; v < n; ++v) {
+      const size_t vi = static_cast<size_t>(v);
+      const std::uint32_t count = recv_count_[vi];
+      if (count == 0) continue;
+      inbox_start_[vi] = offset;
+      inbox_len_[vi] = count;
+      offset += count;
+      recv_count_[vi] = 0;  // reused as the scatter cursor below
+      current_mail_.push_back(v);
+      if (mark_inline) mark_frontier(v);
+    }
+  } else {
+    for (VertexId v : current_mail_) {
+      const size_t vi = static_cast<size_t>(v);
+      const std::uint32_t count = recv_count_[vi];
+      inbox_start_[vi] = offset;
+      inbox_len_[vi] = count;
+      offset += count;
+      recv_count_[vi] = 0;  // reused as the scatter cursor below
+      if (mark_inline && count != 0) mark_frontier(v);
+    }
   }
   for (const Pending& p : deliver_buf_) {
     const size_t ti = static_cast<size_t>(p.to);
@@ -221,6 +323,15 @@ void Scheduler::deliver_stage(int round) {
 
   deliver_buf_.clear();
   if (fault_ && fault_->plan().reorder) apply_reorder(round);
+
+  // Delivery direction switch for the round about to stage: a pure function
+  // of this round's delivered volume, so the mode sequence is deterministic.
+  // Fault plans need per-recipient lists for drop accounting and reorder,
+  // and the reliable transport walks current_mail_ eagerly, so both pin the
+  // sparse direction.
+  stage_skiplist_ =
+      !fault_ && !transport_ && delivered != 0 &&
+      delivered * 4 >= static_cast<size_t>(num_nodes_);
 }
 
 void Scheduler::apply_faults(int round) {
@@ -248,22 +359,24 @@ void Scheduler::apply_faults(int round) {
   fault_touched_.clear();
 }
 
+void Scheduler::shuffle_inbox(int round, VertexId v) {
+  const size_t vi = static_cast<size_t>(v);
+  const std::uint32_t len = inbox_len_[vi];
+  if (len < 2) return;
+  Delivery* span = arena_.data() + inbox_start_[vi];
+  std::uint64_t state = fault_->shuffle_key(round, v);
+  for (std::uint32_t i = len - 1; i > 0; --i) {
+    const std::uint32_t j = static_cast<std::uint32_t>(
+        splitmix64(state) % static_cast<std::uint64_t>(i + 1));
+    std::swap(span[i], span[j]);
+  }
+}
+
 void Scheduler::apply_reorder(int round) {
   // Seeded Fisher-Yates over each inbox span: a CONGEST-legal adversary may
   // pick any within-round delivery order, so order-robust programs must
   // produce identical output under any shuffle_key.
-  for (VertexId v : current_mail_) {
-    const size_t vi = static_cast<size_t>(v);
-    const std::uint32_t len = inbox_len_[vi];
-    if (len < 2) continue;
-    Delivery* span = arena_.data() + inbox_start_[vi];
-    std::uint64_t state = fault_->shuffle_key(round, v);
-    for (std::uint32_t i = len - 1; i > 0; --i) {
-      const std::uint32_t j = static_cast<std::uint32_t>(
-          splitmix64(state) % static_cast<std::uint64_t>(i + 1));
-      std::swap(span[i], span[j]);
-    }
-  }
+  for (VertexId v : current_mail_) shuffle_inbox(round, v);
 }
 
 void Scheduler::apply_crash_events(int round) {
@@ -278,9 +391,9 @@ void Scheduler::apply_crash_events(int round) {
     } else {
       node_down_[vi] = 0;
       --waiting_restarts_;
-      // Wake the survivor: it is invoked next round (state intact) so it
+      // Wake the survivor: it is invoked this round (state intact) so it
       // can resume announcing / retransmitting.
-      non_quiescent_.push_back(ev.v);
+      mark_frontier(ev.v);
     }
   }
 }
@@ -294,43 +407,46 @@ void Scheduler::reliable_send(VertexId from, int link_base, int link_index,
   LN_REQUIRE(!options_.strict_congest,
              "reliable transport frames exceed the strict one-message "
              "budget; run with strict_congest = false");
+  LN_REQUIRE(!pool_,
+             "the reliable transport's per-link state machine is serial; "
+             "run with threads = 1");
   LN_ASSERT_MSG(msg.ext_size == 0, "reliable sends must be standard messages");
   if (!transport_) transport_ = std::make_unique<ReliableTransport>(*this);
   transport_->send(from, link_base + link_index, link_index, msg);
 }
 
 void Scheduler::build_active_set(int round) {
-  active_.clear();
-  const VertexId n = static_cast<VertexId>(network_->num_nodes());
+  active_.start_window();
+  const VertexId n = num_nodes_;
   if (options_.full_sweep || round == 0) {
     for (VertexId v = 0; v < n; ++v)
-      if (!fault_ || !node_down_[static_cast<size_t>(v)]) active_.push_back(v);
+      if (!fault_ || !node_down_[static_cast<size_t>(v)]) active_.push(v);
     return;
   }
-  const auto add = [this](VertexId v) {
-    if (fault_ && node_down_[static_cast<size_t>(v)]) return;
-    if (!in_active_[static_cast<size_t>(v)]) {
-      in_active_[static_cast<size_t>(v)] = 1;
-      active_.push_back(v);
-    }
-  };
-  for (VertexId v : non_quiescent_) add(v);
-  // A recipient whose whole inbox was dropped or consumed by the transport
-  // has nothing to react to — leaving it asleep keeps the faulty active set
-  // identical to what a fault-free run with those sends missing would do.
-  for (VertexId v : current_mail_)
-    if (inbox_len_[static_cast<size_t>(v)] != 0) add(v);
-  for (VertexId v : idle_riders_) add(v);
-  // Ascending id keeps send interleaving — and therefore inbox order and
-  // every stat — identical to the full sweep.
-  std::sort(active_.begin(), active_.end());
-  for (VertexId v : active_) in_active_[static_cast<size_t>(v)] = 0;
+  // Ascending bit scan over the words marked since the last scan: yields
+  // the sorted invocation order directly, which keeps send interleaving —
+  // and therefore inbox order and every stat — identical to the full sweep.
+  if (frontier_min_word_ == SIZE_MAX) return;
+  for (size_t i = frontier_min_word_; i <= frontier_max_word_; ++i) {
+    std::uint64_t bits = frontier_.word(i);
+    if (bits == 0) continue;
+    frontier_.clear_word(i);
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const VertexId v = static_cast<VertexId>((i << 6) + static_cast<size_t>(b));
+      if (!fault_ || !node_down_[static_cast<size_t>(v)]) active_.push(v);
+    } while (bits != 0);
+  }
+  frontier_min_word_ = SIZE_MAX;
+  frontier_max_word_ = 0;
 }
 
 CostStats Scheduler::run() {
   NodeContext ctx;
   ctx.network_ = network_;
   ctx.scheduler_ = this;
+  const bool parallel = pool_ != nullptr;
 
   for (int round = 0;; ++round) {
     if (round >= options_.max_rounds) {
@@ -340,36 +456,56 @@ CostStats Scheduler::run() {
       stats_.rounds_capped = 1;
       break;
     }
-    ctx.round_ = round;
 
     // Fold the previous round's congestion window into the stats.
     flush_edge_loads();
 
     if (fault_) apply_crash_events(round);
+    wake_this_round_ = false;
 
-    // Deliver messages queued last round.
-    deliver_stage(round);
-    if (transport_) transport_->process_inbound(round);
+    if (parallel) {
+      run_round_parallel(round);
+    } else {
+      ctx.round_ = round;
 
-    build_active_set(round);
-    non_quiescent_.clear();
-    if (round > 0 && active_.empty() && (fault_ || transport_))
-      ++stats_.rounds_lost;  // clock ticks spent only on timers / restarts
-    for (VertexId v : active_) {
-      const size_t vi = static_cast<size_t>(v);
-      ctx.self_ = v;
-      ctx.links_ = network_->links(v);
-      ctx.link_base_ = network_->link_base(v);
-      const std::uint32_t len = inbox_len_[vi];
-      const Delivery* inbox =
-          len != 0 ? arena_.data() + inbox_start_[vi] : nullptr;
-      programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
-      if (!programs_[vi]->quiescent()) non_quiescent_.push_back(v);
+      // Deliver messages queued last round (recipient wake marks ride the
+      // delivery pass when no transport is attached).
+      deliver_stage(round);
+      if (transport_) {
+        transport_->process_inbound(round);
+        // Wake recipients only after the transport has stripped its frames,
+        // so a node whose whole inbox was dropped or consumed stays asleep
+        // (identical to what a fault-free run with those sends missing
+        // would do).
+        if (!options_.full_sweep)
+          for (VertexId v : current_mail_)
+            if (inbox_len_[static_cast<size_t>(v)] != 0) mark_frontier(v);
+      }
+      if (!options_.full_sweep)
+        for (VertexId v : idle_riders_) mark_frontier(v);
+
+      build_active_set(round);
+      if (round > 0 && active_.size() == 0 && (fault_ || transport_))
+        ++stats_.rounds_lost;  // clock ticks spent only on timers / restarts
+      for (VertexId v : active_.window()) {
+        const size_t vi = static_cast<size_t>(v);
+        ctx.self_ = v;
+        ctx.links_ = network_->links(v);
+        ctx.link_base_ = network_->link_base(v);
+        const std::uint32_t len = inbox_len_[vi];
+        const Delivery* inbox =
+            len != 0 ? arena_.data() + inbox_start_[vi] : nullptr;
+        programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
+        if (!programs_[vi]->quiescent()) {
+          wake_this_round_ = true;
+          if (!options_.full_sweep) mark_frontier(v);
+        }
+      }
+      if (transport_) transport_->tick();
     }
-    if (transport_) transport_->tick();
 
     stats_.rounds = static_cast<std::uint64_t>(round) + 1;
-    if (non_quiescent_.empty() && in_flight_ == 0 && waiting_restarts_ == 0 &&
+    if (!wake_this_round_ && in_flight_ == 0 && waiting_restarts_ == 0 &&
         (!transport_ || !transport_->pending()))
       break;
   }
@@ -378,6 +514,268 @@ CostStats Scheduler::run() {
   // symmetry and future relaxed modes).
   flush_edge_loads();
   return stats_;
+}
+
+void Scheduler::run_round_parallel(int round) {
+  const int t = pool_->threads();
+  const VertexId n = num_nodes_;
+
+  // --- serial point: flip lane double buffers, slice the arena ---
+  for (Lane& lane : lanes_) {
+    lane.out.swap(lane.dout);
+    lane.words.swap(lane.dwords);
+    lane.words.clear();
+  }
+  std::uint64_t deliver_total = 0;
+  std::uint64_t busiest = 0;
+  for (int s = 0; s < t; ++s) {
+    std::uint64_t count = 0;
+    for (const Lane& lane : lanes_) count += lane.dout[static_cast<size_t>(s)].size();
+    shard_totals_[static_cast<size_t>(s)] = count;
+    deliver_total += count;
+    busiest = std::max(busiest, count);
+  }
+  in_flight_ -= deliver_total;
+  if (deliver_total != 0) {
+    const std::uint64_t average =
+        (deliver_total + static_cast<std::uint64_t>(t) - 1) /
+        static_cast<std::uint64_t>(t);
+    if (busiest > average)
+      stats_.max_shard_skew = std::max(stats_.max_shard_skew, busiest - average);
+  }
+  const size_t old_capacity = arena_.capacity();
+  arena_.resize(deliver_total);
+  if (arena_.capacity() != old_capacity) ++stats_.inbox_reallocs;
+  std::uint32_t arena_base = 0;
+  for (int s = 0; s < t; ++s) {
+    shard_arena_base_[static_cast<size_t>(s)] = arena_base;
+    arena_base += static_cast<std::uint32_t>(shard_totals_[static_cast<size_t>(s)]);
+  }
+
+  // Delivery direction for this round, decided up front (the parallel path
+  // has the full volume in hand before assembling inboxes). Dense rounds
+  // scan each shard's vertex range instead of tracking first-touch
+  // recipient lists. Fault plans pin the sparse direction (drop accounting
+  // builds the recipient lists anyway).
+  const bool dense = !fault_ && !options_.full_sweep && deliver_total != 0 &&
+                     deliver_total * 4 >= static_cast<std::uint64_t>(n);
+  if (dense) ++stats_.rounds_receiver_scan;
+
+  // --- phase 1: per-shard inbox assembly ---
+  stats_.barrier_wait_ns +=
+      pool_->run([&](int shard) { deliver_shard(shard, round, dense); });
+  if (fault_) {
+    for (ShardScratch& shard : shards_) {
+      stats_.dropped += shard.dropped;
+      shard.dropped = 0;
+    }
+  }
+
+  if (!options_.full_sweep)
+    for (VertexId v : idle_riders_) frontier_.set(v);
+
+  // --- phase 2: frontier scan into the invocation order ---
+  build_active_parallel(round);
+  if (round > 0 && active_.size() == 0 && fault_)
+    ++stats_.rounds_lost;
+
+  // Invocation chunks: an even split of the ascending active array, so lane
+  // l owns a contiguous run of senders and draining lanes in order at the
+  // next delivery reproduces the serial send interleaving exactly.
+  const size_t active_count = active_.size();
+  for (int l = 0; l <= t; ++l)
+    chunk_bounds_[static_cast<size_t>(l)] =
+        active_count * static_cast<size_t>(l) / static_cast<size_t>(t);
+
+  // --- phase 3: invocation ---
+  stats_.barrier_wait_ns +=
+      pool_->run([&](int lane) { invoke_chunk(lane, round); });
+
+  // --- serial point: fold lane accumulators ---
+  std::uint64_t staged = 0;
+  for (Lane& lane : lanes_) {
+    staged += lane.messages;
+    stats_.messages += lane.messages;
+    lane.messages = 0;
+    stats_.words += lane.words_sent;
+    lane.words_sent = 0;
+    stats_.inbox_reallocs += lane.reallocs;
+    lane.reallocs = 0;
+    if (lane.wake_any) {
+      wake_this_round_ = true;
+      lane.wake_any = 0;
+    }
+    touched_edges_.insert(touched_edges_.end(), lane.touched.begin(),
+                          lane.touched.end());
+    lane.touched.clear();
+  }
+  in_flight_ += staged;
+  ++stats_.rounds_parallel;
+}
+
+void Scheduler::fault_filter_bucket(ShardScratch& shard,
+                                    std::vector<Pending>& bucket, int round) {
+  const WeightedGraph& g = network_->graph();
+  size_t w = 0;
+  for (const Pending& p : bucket) {
+    const EdgeId e = p.delivery.edge;
+    const int dir = p.delivery.from == g.edge(e).u ? 0 : 1;
+    const size_t slot = static_cast<size_t>(e) * 2 + static_cast<size_t>(dir);
+    if (fault_seq_[slot] == 0)
+      shard.fault_touched.push_back(static_cast<std::uint32_t>(slot));
+    const std::uint32_t msg_index = fault_seq_[slot]++;
+    const bool lost = node_down_[static_cast<size_t>(p.to)] ||
+                      fault_->link_down(round, e) ||
+                      fault_->drop_message(round, e, dir, msg_index);
+    if (lost) {
+      ++shard.dropped;
+      continue;
+    }
+    bucket[w++] = p;
+  }
+  bucket.resize(w);
+}
+
+void Scheduler::deliver_shard(int shard_index, int round, bool dense) {
+  ShardScratch& shard = shards_[static_cast<size_t>(shard_index)];
+
+  // 1. Close out the spans this shard's recipients consumed last round.
+  for (VertexId v : shard.mail) inbox_len_[static_cast<size_t>(v)] = 0;
+  shard.mail.clear();
+
+  // 2. Drain the lanes' buckets for this shard in lane order — the serial
+  // send order restricted to the shard, because each lane owns a contiguous
+  // ascending run of the round's senders. Fault filtering runs here so
+  // per-slot message indices match the serial delivery order exactly (a
+  // directed slot's receiver is fixed, so its fault_seq_ entry belongs to
+  // exactly this shard).
+  for (Lane& lane : lanes_) {
+    std::vector<Pending>& bucket = lane.dout[static_cast<size_t>(shard_index)];
+    if (fault_) fault_filter_bucket(shard, bucket, round);
+    if (dense) {
+      for (const Pending& p : bucket) ++recv_count_[static_cast<size_t>(p.to)];
+    } else {
+      for (const Pending& p : bucket) {
+        const size_t ti = static_cast<size_t>(p.to);
+        if (recv_count_[ti]++ == 0) shard.mail.push_back(p.to);
+      }
+    }
+  }
+  if (fault_) {
+    for (std::uint32_t slot : shard.fault_touched) fault_seq_[slot] = 0;
+    shard.fault_touched.clear();
+  }
+
+  // 3. Offsets into this shard's arena slice, plus the recipient wake marks
+  // (plain bit sets: shard boundaries are 64-aligned, so no other worker
+  // ever writes these words). Dense rounds rebuild the shard's recipient
+  // list ascending as a byproduct of the range scan; recipients whose whole
+  // inbox was dropped never entered shard.mail, so they stay asleep.
+  std::uint32_t offset = shard_arena_base_[static_cast<size_t>(shard_index)];
+  if (dense) {
+    for (VertexId v = shard.begin; v < shard.end; ++v) {
+      const size_t vi = static_cast<size_t>(v);
+      const std::uint32_t count = recv_count_[vi];
+      if (count == 0) continue;
+      inbox_start_[vi] = offset;
+      inbox_len_[vi] = count;
+      offset += count;
+      recv_count_[vi] = 0;  // reused as the scatter cursor below
+      shard.mail.push_back(v);
+      frontier_.set(v);  // dense implies !full_sweep
+    }
+  } else {
+    for (VertexId v : shard.mail) {
+      const size_t vi = static_cast<size_t>(v);
+      inbox_start_[vi] = offset;
+      inbox_len_[vi] = recv_count_[vi];
+      offset += recv_count_[vi];
+      recv_count_[vi] = 0;  // reused as the scatter cursor below
+      if (!options_.full_sweep) frontier_.set(v);
+    }
+  }
+
+  // 4. Counting-sort scatter, stable per recipient (lane order again).
+  for (Lane& lane : lanes_) {
+    for (const Pending& p : lane.dout[static_cast<size_t>(shard_index)]) {
+      const size_t ti = static_cast<size_t>(p.to);
+      arena_[inbox_start_[ti] + recv_count_[ti]++] = p.delivery;
+    }
+  }
+  for (VertexId v : shard.mail) recv_count_[static_cast<size_t>(v)] = 0;
+
+  // 5. Adversarial reorder, seeded per (round, recipient) — shard-local.
+  if (fault_ && fault_->plan().reorder)
+    for (VertexId v : shard.mail) shuffle_inbox(round, v);
+
+  for (Lane& lane : lanes_) lane.dout[static_cast<size_t>(shard_index)].clear();
+}
+
+void Scheduler::build_active_parallel(int round) {
+  active_.start_window();
+  const VertexId n = num_nodes_;
+  if (options_.full_sweep || round == 0) {
+    for (VertexId v = 0; v < n; ++v)
+      if (!fault_ || !node_down_[static_cast<size_t>(v)]) active_.push(v);
+    return;
+  }
+  // Each worker scans its own shard's span of the bitmap (the 64-aligned
+  // boundaries make the word ranges disjoint) into shard-local order...
+  stats_.barrier_wait_ns += pool_->run([&](int shard_index) {
+    ShardScratch& shard = shards_[static_cast<size_t>(shard_index)];
+    shard.active.clear();
+    const size_t word_begin = static_cast<size_t>(shard.begin) >> 6;
+    const size_t word_end = (static_cast<size_t>(shard.end) + 63) >> 6;
+    for (size_t i = word_begin; i < word_end; ++i) {
+      std::uint64_t bits = frontier_.word(i);
+      if (bits == 0) continue;
+      frontier_.clear_word(i);
+      do {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const VertexId v =
+            static_cast<VertexId>((i << 6) + static_cast<size_t>(b));
+        if (!fault_ || !node_down_[static_cast<size_t>(v)])
+          shard.active.push_back(v);
+      } while (bits != 0);
+    }
+  });
+  // ...and the serial concat in shard order restores the global ascending
+  // invocation order.
+  for (ShardScratch& shard : shards_) {
+    if (shard.active.empty()) continue;
+    VertexId* dst = active_.claim(shard.active.size());
+    std::memcpy(dst, shard.active.data(),
+                shard.active.size() * sizeof(VertexId));
+  }
+}
+
+void Scheduler::invoke_chunk(int lane_index, int round) {
+  NodeContext ctx;
+  ctx.network_ = network_;
+  ctx.scheduler_ = this;
+  ctx.round_ = round;
+  ctx.lane_ = lane_index;
+  Lane& lane = lanes_[static_cast<size_t>(lane_index)];
+  const std::span<const VertexId> window = active_.window();
+  const size_t begin = chunk_bounds_[static_cast<size_t>(lane_index)];
+  const size_t end = chunk_bounds_[static_cast<size_t>(lane_index) + 1];
+  for (size_t i = begin; i < end; ++i) {
+    const VertexId v = window[i];
+    const size_t vi = static_cast<size_t>(v);
+    ctx.self_ = v;
+    ctx.links_ = network_->links(v);
+    ctx.link_base_ = network_->link_base(v);
+    const std::uint32_t len = inbox_len_[vi];
+    const Delivery* inbox =
+        len != 0 ? arena_.data() + inbox_start_[vi] : nullptr;
+    programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
+    if (!programs_[vi]->quiescent()) {
+      lane.wake_any = 1;
+      // Cross-shard mark: any lane may wake any vertex.
+      if (!options_.full_sweep) frontier_.set_atomic(v);
+    }
+  }
 }
 
 }  // namespace lightnet::congest

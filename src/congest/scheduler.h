@@ -8,22 +8,34 @@
 // would add an O(D) termination-detection phase, which is dominated by every
 // phase cost in this library).
 //
-// Hot paths (the three structures that make large-n simulation cheap):
+// Hot paths (the structures that make large-n simulation cheap):
 //  - O(1) send resolution: NodeContext::send_on_link addresses a neighbor by
 //    its local link index, hitting a precomputed (edge, direction) slot
 //    table in Network. NodeContext::send(neighbor, ...) resolves the
 //    neighbor through the Network's sorted sidecar in O(log deg) — never
 //    the O(deg) WeightedGraph::find_edge scan.
-//  - Active-set rounds: only nodes that received mail, reported
-//    non-quiescence after their last invocation, or opted into idle rounds
-//    (wants_idle_rounds) are invoked; a sleeping frontier costs nothing.
-//    Invocation order within a round is ascending vertex id, so executions
-//    are bit-identical to the full sweep (SchedulerOptions::full_sweep
-//    provides the reference behavior for tests and benchmarks).
+//  - Frontier rounds: the per-round active set lives in a frontier bitmap +
+//    sliding queue (congest/frontier.h). Waking a node is one OR; the
+//    ascending bit scan yields the sorted invocation order for free, so no
+//    per-round sort is needed and executions stay bit-identical to the full
+//    sweep (SchedulerOptions::full_sweep is the reference behavior for
+//    tests and benchmarks). A sleeping frontier costs nothing.
 //  - Flat message arena: inboxes live in one double-buffered flat Delivery
 //    array, counting-sorted by recipient at delivery time. Steady state
 //    performs zero per-round heap allocations (CostStats::inbox_reallocs
-//    instruments this).
+//    instruments this). Delivery switches per round between iterating the
+//    senders' recipient list (sparse rounds) and scanning the receiver
+//    range directly (dense rounds) — the top-down/bottom-up direction
+//    switch of the hybrid-BFS literature, applied to inbox assembly.
+//  - Parallel rounds (SchedulerOptions::threads > 1): node programs within
+//    a round are independent by construction, so the active set is sharded
+//    across a persistent worker pool. Each worker stages outgoing messages
+//    into its own lane (per-recipient-shard buckets plus a private word
+//    arena), and delivery workers each own a contiguous, 64-aligned vertex
+//    shard whose inboxes they assemble by draining the lanes' buckets in
+//    lane order — a stable merge that reproduces the serial send
+//    interleaving exactly, so artifacts, ledgers and stats are bit-identical
+//    to threads=1. With threads=1 none of this machinery is touched.
 //
 // Congestion: the scheduler counts messages per (edge, direction) per round.
 // In strict mode, more than one message on a directed edge in a round —
@@ -37,6 +49,7 @@
 #include <vector>
 
 #include "congest/fault.h"
+#include "congest/frontier.h"
 #include "congest/message.h"
 #include "congest/network.h"
 #include "congest/stats.h"
@@ -45,6 +58,7 @@ namespace lightnet::congest {
 
 class NodeContext;
 class ReliableTransport;
+class WorkerPool;
 
 class NodeProgram {
  public:
@@ -53,7 +67,10 @@ class NodeProgram {
   // scheduling a node is only invoked when it has mail, was non-quiescent
   // after its previous invocation, or wants_idle_rounds() — so quiescent()
   // must only change state inside on_round (a skipped node's answer is
-  // assumed stable).
+  // assumed stable). Under threads > 1 different nodes' on_round calls run
+  // concurrently; programs may freely write their own per-node state and
+  // their own slots of shared result arrays (the idiom every program here
+  // uses), but must not mutate state shared across nodes.
   virtual void on_round(NodeContext& ctx, std::span<const Delivery> inbox) = 0;
   // True when the node has no more work to initiate. The run ends when all
   // nodes are quiescent AND no messages are in flight.
@@ -97,7 +114,9 @@ class NodeContext {
   // (congest/reliable.h) — delivered exactly once and in order even under
   // an active FaultPlan, at the cost of acks and retransmissions that are
   // charged honestly to the ledger. Requires strict_congest = false (the
-  // 2-word frame header exceeds the one-message budget). The receiver
+  // 2-word frame header exceeds the one-message budget) and threads = 1
+  // (the transport's per-link state machine is inherently serial; reliable
+  // entry points clamp their SchedulerOptions accordingly). The receiver
   // needs no changes: the payload arrives unwrapped with its original tag.
   void reliable_send_on_link(int link_index, const Message& msg);
 
@@ -125,6 +144,7 @@ class NodeContext {
   VertexId self_ = kNoVertex;
   int round_ = 0;
   int link_base_ = 0;  // flat offset of self's links in the Network index
+  int lane_ = 0;       // staging lane of the invoking worker (0 when serial)
   std::span<const Incidence> links_;
   const Network* network_ = nullptr;
   Scheduler* scheduler_ = nullptr;
@@ -139,6 +159,14 @@ struct SchedulerOptions {
   // Deterministic fault injection (congest/fault.h). The zero plan is the
   // fault-free fast path — no per-delivery overhead at all.
   FaultPlan fault;
+  // Worker threads for parallel round execution. 1 (the default) runs the
+  // serial fast path with no pool at all; values > 1 are clamped to
+  // Scheduler::kMaxLanes. Outputs, artifacts and all model costs are
+  // bit-identical across every thread count — parallelism only changes
+  // wall-clock time and the rounds_parallel/max_shard_skew/barrier_wait_ns
+  // instrumentation. Composes with fault plans; the reliable transport
+  // requires threads = 1.
+  int threads = 1;
   // Abort if any directed edge carries more than one message in one round.
   bool strict_congest = true;
   // Invoke every program every round instead of only the active set. The
@@ -158,7 +186,7 @@ class Scheduler {
   Scheduler(const Network& network,
             std::vector<std::unique_ptr<NodeProgram>> programs,
             SchedulerOptions options = {});
-  ~Scheduler();  // out of line: ReliableTransport is incomplete here
+  ~Scheduler();  // out of line: ReliableTransport/WorkerPool incomplete here
 
   // Runs rounds until global quiescence; returns the cost.
   CostStats run();
@@ -171,9 +199,16 @@ class Scheduler {
   // any framing of fixed tuples of ≤ 3 words survives the split intact.
   static constexpr size_t kBatchChunkWords = 65532;
 
+  // Max worker lanes. 16 lanes leaves 28 bits of Message::ext_offset for
+  // the lane-local word-arena offset (256M words per lane per round).
+  static constexpr int kMaxLanes = 16;
+
  private:
   friend class NodeContext;
   friend class ReliableTransport;
+
+  static constexpr std::uint32_t kLaneShift = 28;
+  static constexpr std::uint32_t kLaneOffsetMask = (1u << kLaneShift) - 1;
 
   // Staged outgoing message: recipient plus the Delivery it will see.
   struct Pending {
@@ -181,45 +216,93 @@ class Scheduler {
     Delivery delivery;
   };
 
-  void enqueue_resolved(VertexId from, VertexId to, EdgeId edge,
+  // Per-worker staging state. Each lane owns the messages its worker's
+  // nodes send during a round: bucketed by recipient shard (so delivery
+  // workers can drain them without contention) plus a private word arena
+  // for batched payloads. Cache-line aligned so two workers' hot counters
+  // never share a line.
+  struct alignas(64) Lane {
+    std::vector<std::vector<Pending>> out;    // fill side, per recipient shard
+    std::vector<std::vector<Pending>> dout;   // delivery side (last round)
+    std::vector<std::uint64_t> words;         // fill-side batched payloads
+    std::vector<std::uint64_t> dwords;        // delivery-side payloads
+    // Per-round accumulators, folded into the global stats at the barrier.
+    std::uint64_t messages = 0;
+    std::uint64_t words_sent = 0;
+    std::uint64_t reallocs = 0;
+    std::uint8_t wake_any = 0;
+    std::vector<EdgeId> touched;              // edge-load slots this lane hit
+  };
+
+  // Per-recipient-shard scratch owned by exactly one delivery worker.
+  struct alignas(64) ShardScratch {
+    VertexId begin = 0;
+    VertexId end = 0;
+    std::vector<VertexId> mail;     // this round's recipients in the shard
+    std::vector<VertexId> active;   // frontier-scan output for the shard
+    std::vector<std::uint32_t> fault_touched;  // dir slots to reset
+    std::uint64_t dropped = 0;
+  };
+
+  void enqueue_resolved(int lane, VertexId from, VertexId to, EdgeId edge,
                         std::uint32_t dir_slot, const Message& msg);
-  // Builds the (possibly arena-backed) message for send_words_on_link and
-  // hands it to enqueue_resolved.
   // Packs `words` (≤ kBatchChunkWords) into a Message — inline if they
-  // fit, else one arena block; the shared packing step of enqueue_words
-  // and broadcast_words.
-  Message stage_batched_message(std::uint32_t tag,
+  // fit, else one block of the lane's word arena; the shared packing step
+  // of enqueue_words and broadcast_words.
+  Message stage_batched_message(int lane, std::uint32_t tag,
                                 std::span<const std::uint64_t> words);
-  void enqueue_words(VertexId from, VertexId to, EdgeId edge,
+  void enqueue_words(int lane, VertexId from, VertexId to, EdgeId edge,
                      std::uint32_t dir_slot, std::uint32_t tag,
                      std::span<const std::uint64_t> words);
   // One arena copy shared by all links of `from` (see
   // NodeContext::broadcast_words).
-  void broadcast_words(VertexId from, int link_base,
+  void broadcast_words(int lane, VertexId from, int link_base,
                        std::span<const Incidence> links, std::uint32_t tag,
                        std::span<const std::uint64_t> words);
   // Folds the per-edge loads of the last send window into max_edge_load and
   // resets them (single owner of the touched_edges_ bookkeeping).
   void flush_edge_loads();
-  // Counting-sort scatter of stage_ into the arena; fills inbox_start_/
-  // inbox_len_ for this round's recipients (current_mail_).
+  // Serial delivery: counting-sort scatter of stage_ into the arena; fills
+  // inbox_start_/inbox_len_ for this round's recipients (current_mail_).
   void deliver_stage(int round);
-  // Composes the sorted list of nodes to invoke this round.
+  // Composes the sorted list of nodes to invoke this round by consuming the
+  // frontier bitmap (ascending scan), or the full range under full_sweep /
+  // round 0.
   void build_active_set(int round);
+  // Marks a vertex for invocation and keeps the serial scan window tight.
+  void mark_frontier(VertexId v) {
+    frontier_.set(v);
+    const size_t w = static_cast<size_t>(v) >> 6;
+    if (w < frontier_min_word_) frontier_min_word_ = w;
+    if (w > frontier_max_word_) frontier_max_word_ = w;
+  }
   // Fault hooks (no-ops unless options_.fault.enabled()).
   void apply_faults(int round);        // filters deliver_buf_ before scatter
   void apply_reorder(int round);       // permutes inbox spans after scatter
+  void shuffle_inbox(int round, VertexId v);  // one span of apply_reorder
   void apply_crash_events(int round);  // crash/restart transitions
   // Entry point for NodeContext::reliable_send_on_link; creates the
   // transport lazily on first use.
   void reliable_send(VertexId from, int link_base, int link_index,
                      std::span<const Incidence> links, const Message& msg);
 
+  // --- parallel round phases (threads > 1) ---
+  void run_round_parallel(int round);
+  void deliver_shard(int shard, int round, bool dense);
+  void build_active_parallel(int round);
+  void invoke_chunk(int lane, int round);
+  // Compacts one lane bucket under the fault plan; the shard owner calls
+  // this for each lane in lane order so per-slot message indices match the
+  // serial delivery order exactly.
+  void fault_filter_bucket(ShardScratch& shard, std::vector<Pending>& bucket,
+                           int round);
+
   const Network* network_;
+  VertexId num_nodes_ = 0;  // cached: read every round by the hot loop
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   SchedulerOptions options_;
 
-  // --- message arena (double-buffered flat inboxes) ---
+  // --- message arena (double-buffered flat inboxes; serial staging) ---
   std::vector<Pending> stage_;          // sends of the current round
   std::vector<Pending> deliver_buf_;    // last round's sends being delivered
   std::vector<std::uint64_t> stage_words_;    // batched payloads being filled
@@ -232,17 +315,40 @@ class Scheduler {
   std::vector<VertexId> current_mail_;      // recipients being delivered
   std::vector<std::uint8_t> has_mail_;      // fill-side membership flag
 
-  // --- active-set tracking ---
-  std::vector<VertexId> active_;            // nodes invoked this round
-  std::vector<VertexId> non_quiescent_;     // after their last invocation
-  std::vector<VertexId> idle_riders_;       // wants_idle_rounds programs
-  std::vector<std::uint8_t> in_active_;     // membership flag for active_
+  // --- frontier (active-set) tracking ---
+  FrontierBitmap frontier_;     // vertices to invoke next round
+  SlidingQueue active_;         // this round's invocation order (ascending)
+  std::vector<VertexId> idle_riders_;  // wants_idle_rounds programs
+  // Serial scan window: bitmap words touched since the last scan, so a
+  // sparse frontier on a huge graph scans a handful of words, not n/64.
+  size_t frontier_min_word_ = SIZE_MAX;
+  size_t frontier_max_word_ = 0;
+  bool wake_this_round_ = false;  // any program non-quiescent this round
+  // Receiver-scan predictor (the delivery direction switch): when the last
+  // delivered round was dense, the next round's sends skip the recipient-
+  // list bookkeeping and delivery reconstructs recipients by scanning the
+  // vertex range. A pure function of delivered message counts, so the
+  // switch is deterministic.
+  bool stage_skiplist_ = false;
 
   std::uint64_t in_flight_ = 0;
   CostStats stats_;
   // Per-round congestion tracking: messages sent on each directed edge.
+  // A directed slot is only ever written by its single sender, so lanes
+  // update it without synchronization; dedup into touched lists is
+  // per-slot (an edge used in both directions is listed once per
+  // direction, which flush_edge_loads folds idempotently).
   std::vector<std::uint32_t> edge_load_;  // indexed by 2*edge + direction
   std::vector<EdgeId> touched_edges_;
+
+  // --- parallel execution (allocated only when options_.threads > 1) ---
+  std::unique_ptr<WorkerPool> pool_;
+  std::vector<Lane> lanes_;
+  std::vector<ShardScratch> shards_;
+  std::vector<std::uint8_t> shard_of_;        // vertex -> recipient shard
+  std::vector<std::uint32_t> shard_arena_base_;  // per-shard arena slice
+  std::vector<std::uint64_t> shard_totals_;      // per-shard deliveries
+  std::vector<size_t> chunk_bounds_;          // invocation chunks over active_
 
   // --- fault injection (allocated only when options_.fault.enabled()) ---
   std::unique_ptr<FaultModel> fault_;

@@ -40,6 +40,27 @@ struct CostStats {
   std::uint64_t crashed_nodes = 0;  // crash events applied
   std::uint64_t rounds_capped = 0;  // 1 if the run hit max_rounds (aborted)
 
+  // Parallel-execution instrumentation (SchedulerOptions::threads > 1).
+  // Like inbox_reallocs these are simulator internals, NEVER emitted in the
+  // JSON: the parallel path's contract is that its records stay byte-equal
+  // to serial ones, so only fields whose values are identical across thread
+  // counts may reach an emitter. rounds_parallel, rounds_receiver_scan and
+  // max_shard_skew are deterministic per (run, threads); barrier_wait_ns is
+  // wall-clock and differs between invocations.
+  std::uint64_t rounds_parallel = 0;  // rounds executed by the worker pool
+  // Rounds whose delivery ran in receiver-scan ("bottom-up") mode: inbox
+  // offsets assigned by a linear scan over the vertex range instead of by
+  // iterating the senders' recipient list. Counted in serial and parallel
+  // runs alike.
+  std::uint64_t rounds_receiver_scan = 0;
+  // Max over parallel rounds of (messages into the busiest recipient shard)
+  // minus the per-shard average that round: how unevenly the deterministic
+  // sharding split delivery work in the worst round.
+  std::uint64_t max_shard_skew = 0;
+  // Nanoseconds the coordinating thread spent waiting for stragglers at
+  // phase barriers (summed over all phases of all parallel rounds).
+  std::uint64_t barrier_wait_ns = 0;
+
   CostStats& operator+=(const CostStats& o) {
     rounds += o.rounds;
     messages += o.messages;
@@ -52,14 +73,21 @@ struct CostStats {
     rounds_lost += o.rounds_lost;
     crashed_nodes += o.crashed_nodes;
     rounds_capped += o.rounds_capped;
+    rounds_parallel += o.rounds_parallel;
+    rounds_receiver_scan += o.rounds_receiver_scan;
+    max_shard_skew = max_shard_skew > o.max_shard_skew ? max_shard_skew
+                                                       : o.max_shard_skew;
+    barrier_wait_ns += o.barrier_wait_ns;
     return *this;
   }
 };
 
 // {"rounds":..,"messages":..,"words":..,"max_edge_load":..} — the model
-// costs only; inbox_reallocs is simulator instrumentation and stays out of
-// the experiment records. The robustness counters are appended only when
-// nonzero, so fault-free output is byte-identical to what it always was.
+// costs only; inbox_reallocs and the parallel-execution instrumentation are
+// simulator internals and stay out of the experiment records (which keeps
+// parallel records byte-equal to serial ones). The robustness counters are
+// appended only when nonzero, so fault-free output is byte-identical to
+// what it always was.
 std::string to_json(const CostStats& cost);
 
 // Named phase costs; `total()` is what benches report, the per-phase

@@ -1,0 +1,117 @@
+#include "congest/worker_pool.h"
+
+#include <chrono>
+
+#include "support/assert.h"
+
+namespace lightnet::congest {
+
+namespace {
+
+// Spin iterations before blocking. Long enough to cover a phase hand-off on
+// idle sibling cores, short enough that an oversubscribed host yields the
+// core within microseconds.
+constexpr int kSpinIterations = 1 << 12;
+
+}  // namespace
+
+WorkerPool::WorkerPool(int threads) : threads_(threads) {
+  LN_REQUIRE(threads >= 1, "worker pool needs at least one thread");
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int id = 1; id < threads; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::uint64_t WorkerPool::run(const std::function<void(int)>& job) {
+  remaining_.store(threads_, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    // Release-publishes job_ and remaining_ to workers that read the epoch
+    // with acquire in their spin loop (sleepers are ordered by the mutex).
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  start_cv_.notify_all();
+
+  try {
+    job(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+
+  std::uint64_t wait_ns = 0;
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (remaining_.load(std::memory_order_acquire) == 0) break;
+    }
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [this] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+    wait_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count());
+  }
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+  return wait_ns;
+}
+
+void WorkerPool::worker_loop(int id) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    bool spun_to_work = false;
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (epoch_.load(std::memory_order_acquire) != seen_epoch) {
+        spun_to_work = true;
+        break;
+      }
+    }
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!spun_to_work) {
+        start_cv_.wait(lock, [this, seen_epoch] {
+          return stop_ || epoch_.load(std::memory_order_relaxed) != seen_epoch;
+        });
+      }
+      if (stop_) return;
+      seen_epoch = epoch_.load(std::memory_order_relaxed);
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last one out wakes the caller; the lock orders the notify against
+      // the caller entering its wait.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lightnet::congest

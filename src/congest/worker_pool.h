@@ -1,0 +1,67 @@
+// A persistent thread pool for the scheduler's parallel round phases.
+//
+// One pool lives for the whole execution: workers are spawned once and then
+// re-dispatched every phase of every round, so the steady-state cost of a
+// phase is two synchronizations (release the workers, join them at the
+// barrier), not thread creation. Dispatch is epoch-based: run() publishes a
+// job and bumps the epoch; workers run job(worker_id) exactly once per
+// epoch and count themselves out. Waiters spin briefly before blocking on a
+// condition variable — on saturated hardware the spin window catches the
+// common case, while oversubscribed hosts (CI runners, the single-core
+// container) fall through to a proper sleep instead of burning the core the
+// sibling workers need.
+//
+// Exceptions thrown by a job (LN_ASSERT violations, strict-congest aborts)
+// are captured per phase and rethrown on the calling thread after the
+// barrier, so parallel failures surface exactly like serial ones.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lightnet::congest {
+
+class WorkerPool {
+ public:
+  // Spawns `threads - 1` workers; the thread that calls run() participates
+  // as worker 0.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Executes job(worker_id) for every worker_id in [0, threads()); returns
+  // once all workers have finished. The return value is the nanoseconds the
+  // calling thread spent waiting for stragglers after finishing its own
+  // share — the barrier-wait instrument CostStats::barrier_wait_ns sums.
+  // Rethrows the first exception any worker threw during the phase.
+  std::uint64_t run(const std::function<void(int)>& job);
+
+  int threads() const { return threads_; }
+
+ private:
+  void worker_loop(int id);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> remaining_{0};
+  bool stop_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace lightnet::congest

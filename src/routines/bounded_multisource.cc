@@ -202,6 +202,9 @@ void run_bounded_kernel(const RoundedSubstrate& substrate, Weight radius,
   // check must not abort it. Legacy mode keeps whatever the caller set,
   // except that reliable transport frames also need the relaxed budget.
   if (batched || reliable) sched.strict_congest = false;
+  // The transport's per-link state machine is serial; parallel execution
+  // keeps its determinism contract only for raw-scheduler runs.
+  if (reliable) sched.threads = 1;
 
   std::vector<std::unique_ptr<NodeProgram>> programs;
   programs.reserve(static_cast<size_t>(n));

@@ -183,6 +183,30 @@ TEST(Registry, FullSweepAndActiveSetLedgersAreIdentical) {
   }
 }
 
+TEST(Registry, ThreadSweepIsBitIdenticalForEveryConstruction) {
+  // The scheduler's parallel determinism contract, enforced registry-wide:
+  // every construction run at threads ∈ {2, 4, 8} must produce the same
+  // artifact (edges, vertices, diagnostics) and the same model-cost ledger
+  // as the serial run — including the serialized form, since records and
+  // ledgers are what the sweep driver byte-compares.
+  for (const auto& [gname, g] : registry_graphs()) {
+    for (const Construction* c : api::all_constructions()) {
+      RunContext serial;
+      serial.seed = 5;
+      const Artifact a = c->run(g, ConstructionParams{}, serial);
+      const std::string serial_json = congest::to_json(a.ledger);
+      for (int threads : {2, 4, 8}) {
+        const std::string context = gname + "/" + std::string(c->name()) +
+                                    "/threads=" + std::to_string(threads);
+        const Artifact b =
+            c->run(g, ConstructionParams{}, serial.with_threads(threads));
+        expect_same_artifact(a, b, context);
+        EXPECT_EQ(serial_json, congest::to_json(b.ledger)) << context;
+      }
+    }
+  }
+}
+
 TEST(Registry, LedgerSinkReceivesEveryPhase) {
   const WeightedGraph g =
       erdos_renyi(24, 0.25, WeightLaw::kUniform, 20.0, 17);
