@@ -1,0 +1,320 @@
+// Traffic-replay harness for the lightnetd service.
+//
+// Default mode replays one Zipf-skewed synthetic trace through two
+// in-process LightnetServers — cold (both cache layers disabled) and warm
+// (default caching) — and writes BENCH_service.json with requests/sec,
+// p50/p99 latency, cache hit ratio, the exact server-side stats objects,
+// and the cold/warm speedup. Every response pair is byte-compared; a
+// mismatch is a correctness failure (cached responses must be identical to
+// cold-run responses) and the driver exits nonzero.
+//
+// Trace shape: a universe of distinct run specs (constructions × scenarios;
+// same-scenario specs share substrates through the scenario cache), request
+// popularity Zipf(s)-distributed over the universe — the repeat-heavy
+// pattern a cache-fronted service sees. The trace is a pure function of
+// (universe, requests, zipf_s, seed): replaying it is deterministic, and
+// request ids are the trace index, so two replays of one trace produce
+// byte-identical response streams.
+//
+//   ./bench_service [output.json] [--requests=N] [--universe=N] [--seed=S]
+//   ./bench_service --gen-trace=FILE [--requests=N] [--universe=N] [--seed=S]
+//
+// --gen-trace writes the request lines (JSON-lines, lightnetd protocol) to
+// FILE for driving a real lightnetd over a pipe or socket — the CI smoke
+// job replays such a trace twice through one daemon and byte-compares the
+// two passes.
+//
+// Environment-dependent fields (wall/rps/latency/speedup and
+// meta.hardware_threads) are isolated so regen comparisons can strip them;
+// everything else in the JSON — counters, resident bytes, checksum — is
+// deterministic.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/artifact.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "support/rng.h"
+
+using namespace lightnet;
+
+namespace {
+
+struct TraceConfig {
+  std::size_t requests = 400;
+  std::size_t universe = 24;  // distinct specs (capped by the spec pool)
+  double zipf_s = 1.1;
+  std::uint64_t seed = 1;
+};
+
+std::vector<std::string> spec_universe(std::size_t limit) {
+  // Cheap-to-run constructions over small scenarios; net and
+  // mst_weight_estimate share a δ=0.5 substrate per scenario, so the
+  // scenario cache's substrate pool is exercised by design.
+  const std::vector<std::string> constructions = {
+      "bfs_tree", "slt", "baswana_sen", "elkin_neiman", "net",
+      "mst_weight_estimate"};
+  const std::vector<std::string> scenarios = {
+      "er:n=96:seed=1", "er:n=96:seed=2", "grid:n=100:seed=1",
+      "path:n=128:seed=1"};
+  std::vector<std::string> specs;
+  for (const std::string& s : scenarios)
+    for (const std::string& c : constructions)
+      specs.push_back("construction=" + c + " scenario=" + s + " quality=0");
+  if (specs.size() > limit) specs.resize(limit);
+  return specs;
+}
+
+// Zipf(s) rank sampler over [0, n): P(rank k) ∝ 1/(k+1)^s, via inverse
+// transform on the precomputed CDF.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+  std::size_t sample(Rng& rng) {
+    const double u =
+        static_cast<double>(rng.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// The request lines of one trace; ids are the trace index, so replaying
+// the same trace yields byte-identical responses.
+std::vector<std::string> build_trace(const TraceConfig& config,
+                                     std::size_t* distinct_used) {
+  const std::vector<std::string> specs = spec_universe(config.universe);
+  ZipfSampler zipf(specs.size(), config.zipf_s);
+  Rng rng(config.seed ^ 0x747261636557ULL);
+  std::vector<char> seen(specs.size(), 0);
+  std::vector<std::string> lines;
+  lines.reserve(config.requests);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    const std::size_t rank = zipf.sample(rng);
+    seen[rank] = 1;
+    lines.push_back("{\"op\":\"run\",\"id\":" + std::to_string(i) +
+                    ",\"spec\":\"" + specs[rank] + "\"}");
+  }
+  *distinct_used = 0;
+  for (const char s : seen) *distinct_used += static_cast<std::size_t>(s);
+  return lines;
+}
+
+struct PassResult {
+  double wall_ms = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::vector<std::string> responses;
+  std::string stats;
+};
+
+PassResult replay(service::LightnetServer& server,
+                  const std::vector<std::string>& trace) {
+  PassResult result;
+  result.responses.reserve(trace.size());
+  std::vector<double> latencies_us;
+  latencies_us.reserve(trace.size());
+  const auto pass_start = std::chrono::steady_clock::now();
+  for (const std::string& line : trace) {
+    const auto start = std::chrono::steady_clock::now();
+    result.responses.push_back(server.handle_line(line));
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+  }
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - pass_start)
+                       .count();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  if (!latencies_us.empty()) {
+    result.p50_us = latencies_us[latencies_us.size() / 2];
+    result.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  }
+  result.stats = server.stats_json();
+  return result;
+}
+
+// Pulls stats.artifact.hits / .misses out of the stats object.
+bool cache_counters(const std::string& stats, std::uint64_t* hits,
+                    std::uint64_t* misses) {
+  service::JsonValue value;
+  std::string err;
+  if (!service::parse_json(stats, &value, &err)) return false;
+  const service::JsonValue* artifact = value.find("artifact");
+  if (artifact == nullptr) return false;
+  const service::JsonValue* h = artifact->find("hits");
+  const service::JsonValue* m = artifact->find("misses");
+  if (h == nullptr || m == nullptr) return false;
+  *hits = std::strtoull(h->raw.c_str(), nullptr, 10);
+  *misses = std::strtoull(m->raw.c_str(), nullptr, 10);
+  return true;
+}
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t x = h ^ v;
+  return splitmix64(x);
+}
+
+bool parse_size_flag(const std::string& arg, const char* name,
+                     std::size_t* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  const unsigned long long v =
+      std::strtoull(arg.c_str() + prefix.size(), &end, 10);
+  if (*end != '\0' || v == 0) {
+    std::fprintf(stderr, "bench_service: invalid %s\n", arg.c_str());
+    std::exit(1);
+  }
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TraceConfig config;
+  std::string out_path = "BENCH_service.json";
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t v = 0;
+    if (arg.rfind("--gen-trace=", 0) == 0) {
+      trace_path = arg.substr(12);
+    } else if (parse_size_flag(arg, "--requests", &v)) {
+      config.requests = v;
+    } else if (parse_size_flag(arg, "--universe", &v)) {
+      config.universe = v;
+    } else if (parse_size_flag(arg, "--seed", &v)) {
+      config.seed = v;
+    } else if (arg.rfind("--", 0) != 0) {
+      out_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_service: unknown flag '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::size_t distinct = 0;
+  const std::vector<std::string> trace = build_trace(config, &distinct);
+
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+      return 1;
+    }
+    for (const std::string& line : trace) std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu requests (%zu distinct) to %s\n",
+                 trace.size(), distinct, trace_path.c_str());
+    return 0;
+  }
+
+  service::ServiceOptions cold_options;
+  cold_options.cache_enabled = false;
+  service::ServiceOptions warm_options;  // defaults: caching on
+
+  service::LightnetServer cold(cold_options);
+  service::LightnetServer warm(warm_options);
+  std::fprintf(stderr, "replaying %zu requests (%zu distinct) cold...\n",
+               trace.size(), distinct);
+  const PassResult cold_pass = replay(cold, trace);
+  std::fprintf(stderr, "cold: %.1f ms; replaying warm...\n",
+               cold_pass.wall_ms);
+  const PassResult warm_pass = replay(warm, trace);
+  std::fprintf(stderr, "warm: %.1f ms\n", warm_pass.wall_ms);
+
+  // The contract the cache is built on: a cached response is the SAME BYTES
+  // as the cold response for the same request.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (cold_pass.responses[i] != warm_pass.responses[i]) {
+      if (++mismatches <= 3)
+        std::fprintf(stderr, "BYTE MISMATCH at request %zu:\n  cold: %s\n  warm: %s\n",
+                     i, cold_pass.responses[i].c_str(),
+                     warm_pass.responses[i].c_str());
+    }
+  }
+
+  std::uint64_t hits = 0, misses = 0;
+  double hit_ratio = 0.0;
+  if (cache_counters(warm_pass.stats, &hits, &misses) && hits + misses > 0)
+    hit_ratio = static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  std::uint64_t checksum = 0x736572766963ULL;
+  for (const std::string& r : warm_pass.responses)
+    for (const char c : r) checksum = fold(checksum, static_cast<std::uint64_t>(c));
+
+  const double speedup =
+      warm_pass.wall_ms > 0.0 ? cold_pass.wall_ms / warm_pass.wall_ms : 0.0;
+  const double cold_rps = cold_pass.wall_ms > 0.0
+                              ? 1000.0 * static_cast<double>(trace.size()) /
+                                    cold_pass.wall_ms
+                              : 0.0;
+  const double warm_rps = warm_pass.wall_ms > 0.0
+                              ? 1000.0 * static_cast<double>(trace.size()) /
+                                    warm_pass.wall_ms
+                              : 0.0;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"benchmark\":\"service\",\n"
+               "\"meta\":{\"requests\":%zu,\"distinct\":%zu,\"zipf_s\":%s,"
+               "\"trace_seed\":%llu,\"hardware_threads\":%u,"
+               "\"cache_entries\":%zu,\"cache_bytes\":%zu,"
+               "\"scenario_entries\":%zu},\n",
+               trace.size(), distinct, api::json_number(config.zipf_s).c_str(),
+               static_cast<unsigned long long>(config.seed),
+               std::thread::hardware_concurrency(), warm_options.cache_entries,
+               warm_options.cache_bytes, warm_options.scenario_entries);
+  std::fprintf(out,
+               "\"cold\":{\"wall_ms\":%s,\"rps\":%s,\"p50_us\":%s,"
+               "\"p99_us\":%s,\"stats\":%s},\n",
+               api::json_number(cold_pass.wall_ms).c_str(),
+               api::json_number(cold_rps).c_str(),
+               api::json_number(cold_pass.p50_us).c_str(),
+               api::json_number(cold_pass.p99_us).c_str(),
+               cold_pass.stats.c_str());
+  std::fprintf(out,
+               "\"warm\":{\"wall_ms\":%s,\"rps\":%s,\"p50_us\":%s,"
+               "\"p99_us\":%s,\"hit_ratio\":%s,\"stats\":%s},\n",
+               api::json_number(warm_pass.wall_ms).c_str(),
+               api::json_number(warm_rps).c_str(),
+               api::json_number(warm_pass.p50_us).c_str(),
+               api::json_number(warm_pass.p99_us).c_str(),
+               api::json_number(hit_ratio).c_str(), warm_pass.stats.c_str());
+  std::fprintf(out,
+               "\"speedup\":%s,\"byte_identical\":%s,"
+               "\"checksum\":\"%016llx\"}\n",
+               api::json_number(speedup).c_str(),
+               mismatches == 0 ? "true" : "false",
+               static_cast<unsigned long long>(checksum));
+  std::fclose(out);
+
+  std::fprintf(stderr,
+               "wrote %s: speedup %.1fx, hit ratio %.3f, %zu mismatches\n",
+               out_path.c_str(), speedup, hit_ratio, mismatches);
+  if (mismatches > 0) return 1;
+  return 0;
+}

@@ -1,13 +1,12 @@
 #include "api/cli.h"
 
-#include <chrono>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <string_view>
 
-#include "api/report.h"
+#include "api/record.h"
 #include "api/scenario.h"
-#include "api/validate.h"
 #include "support/assert.h"
 
 namespace lightnet::api {
@@ -24,13 +23,52 @@ struct ParsedSpec {
   ScenarioSpec scenario;  // knob template; family/law/n/seed set per run
   congest::FaultPlan fault;
   std::vector<int> thread_counts;
+  int max_rounds = 0;  // 0 = scheduler default cap
   bool full_sweep = false;
   bool quality = true;
   bool list_only = false;
+  bool help_only = false;
   // wall_ms emission: auto (-1) prints it on fault-free runs and omits it on
   // fault runs, whose records must be bit-reproducible across invocations.
   int wall = -1;
 };
+
+const char kUsage[] =
+    "usage: lightnet_cli [key=value]... [list] [--help]\n"
+    "\n"
+    "Runs the cross product of every list-valued axis; each run prints one\n"
+    "JSON record line to stdout.\n"
+    "\n"
+    "sweep axes (comma lists sweep; 'all' expands where noted):\n"
+    "  construction=NAME[,..]|all  registry constructions      (default all)\n"
+    "  topology=FAMILY[,..]|all    scenario families           (default er)\n"
+    "  n=INT[,..]                  vertex counts               (default 64)\n"
+    "  seed=U64[,..]               scenario / run seeds        (default 1)\n"
+    "  law=LAW[,..]                unit|uniform|heavy_tail|exp_scales\n"
+    "                                                     (default uniform)\n"
+    "  threads=INT[,..]            scheduler worker lanes      (default 1)\n"
+    "construction params (ConstructionParams):\n"
+    "  eps=FLOAT gamma=FLOAT alpha=FLOAT k=INT radius=FLOAT delta=FLOAT\n"
+    "  root=INT hopset=0|1\n"
+    "scenario knobs (ScenarioSpec):\n"
+    "  max_weight=FLOAT avg_degree=FLOAT geo_radius=FLOAT chord_weight=FLOAT\n"
+    "  scenario=FAMILY[:n=..][:seed=..][:law=..]  one-spec sugar\n"
+    "fault injection (an active plan clamps threads to 1 at the driver\n"
+    "boundary; the record reports \"threads_clamped\":true):\n"
+    "  fault.seed=U64 fault.drop=FLOAT fault.link_fail=FLOAT\n"
+    "  fault.link_period=INT fault.crash=FLOAT fault.crash_horizon=INT\n"
+    "  fault.restart=INT fault.reorder=0|1\n"
+    "execution:\n"
+    "  max_rounds=INT   graceful abort past this many rounds (default:\n"
+    "                   scheduler cap; runs gain a \"validation\" object)\n"
+    "  full_sweep=0|1   scheduler reference mode             (default 0)\n"
+    "  quality=0|1      exact quality metrics                (default 1)\n"
+    "  wall=0|1         emit wall_ms (default: on, but off under faults so\n"
+    "                   fault records are bit-reproducible)\n"
+    "  list             print constructions and families, then exit\n"
+    "  --help | -h      this text\n";
+
+const char kUsageHint[] = "lightnet_cli: run with --help for the axis list";
 
 std::vector<std::string> split_csv(std::string_view value) {
   std::vector<std::string> out;
@@ -45,8 +83,56 @@ std::vector<std::string> split_csv(std::string_view value) {
   return out;
 }
 
+// Strict scalar parsers: the whole token must be consumed, so 'n=12x' or
+// 'eps=' is a spec error instead of silently running with atoi garbage.
+bool parse_int_strict(const std::string& v, int* out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  if (parsed < -2147483647L || parsed > 2147483647L) return false;
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool parse_u64_strict(const std::string& v, std::uint64_t* out) {
+  if (v.empty() || v[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_double_strict(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end != v.c_str() + v.size()) return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_bool_strict(const std::string& v, bool* out) {
+  if (v == "0") { *out = false; return true; }
+  if (v == "1") { *out = true; return true; }
+  return false;
+}
+
+void bad_value(const std::string& key, const std::string& value,
+               const char* expected, std::string* err) {
+  *err = "lightnet_cli: invalid value '" + value + "' for key '" + key +
+         "' (expected " + expected + ")\n" + kUsageHint;
+}
+
+// Parses one key=value token stream into `spec`. On failure, `err` carries
+// the message (first line matches the historical diagnostics; a usage hint
+// follows).
 bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
-                std::FILE* err) {
+                std::string* err) {
   for (const std::string& arg : args) {
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -54,12 +140,22 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
         spec.list_only = true;
         continue;
       }
-      std::fprintf(err, "lightnet_cli: expected key=value, got '%s'\n",
-                   arg.c_str());
+      if (arg == "--help" || arg == "-h" || arg == "help") {
+        spec.help_only = true;
+        continue;
+      }
+      *err = "lightnet_cli: expected key=value, got '" + arg + "'\n" +
+             kUsageHint;
       return false;
     }
     const std::string key = arg.substr(0, eq);
     const std::string value = arg.substr(eq + 1);
+    if (value.empty()) {
+      // No axis takes an empty value; 'n=' must not silently become an
+      // empty sweep list that falls back to the default.
+      *err = "lightnet_cli: empty value for key '" + key + "'\n" + kUsageHint;
+      return false;
+    }
     if (key == "construction") {
       if (value == "all") {
         spec.constructions = all_constructions();
@@ -67,8 +163,8 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
         for (const std::string& name : split_csv(value)) {
           const Construction* c = find_construction(name);
           if (c == nullptr) {
-            std::fprintf(err, "lightnet_cli: unknown construction '%s'\n",
-                         name.c_str());
+            *err = "lightnet_cli: unknown construction '" + name + "'\n" +
+                   kUsageHint;
             return false;
           }
           spec.constructions.push_back(c);
@@ -83,72 +179,136 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
           for (const std::string& f : scenario_families())
             known = known || f == family;
           if (!known) {
-            std::fprintf(err, "lightnet_cli: unknown topology '%s'\n",
-                         family.c_str());
+            *err = "lightnet_cli: unknown topology '" + family + "'\n" +
+                   kUsageHint;
             return false;
           }
           spec.topologies.push_back(family);
         }
       }
     } else if (key == "n") {
-      for (const std::string& v : split_csv(value))
-        spec.ns.push_back(std::atoi(v.c_str()));
+      for (const std::string& v : split_csv(value)) {
+        int n = 0;
+        if (!parse_int_strict(v, &n)) {
+          bad_value(key, v, "integer", err);
+          return false;
+        }
+        spec.ns.push_back(n);
+      }
     } else if (key == "seed") {
-      for (const std::string& v : split_csv(value))
-        spec.seeds.push_back(std::strtoull(v.c_str(), nullptr, 10));
+      for (const std::string& v : split_csv(value)) {
+        std::uint64_t s = 0;
+        if (!parse_u64_strict(v, &s)) {
+          bad_value(key, v, "unsigned integer", err);
+          return false;
+        }
+        spec.seeds.push_back(s);
+      }
     } else if (key == "law") {
       for (const std::string& v : split_csv(value)) {
         WeightLaw law;
         if (!parse_weight_law(v, &law)) {
-          std::fprintf(err, "lightnet_cli: unknown weight law '%s'\n",
-                       v.c_str());
+          *err = "lightnet_cli: unknown weight law '" + v + "'\n" +
+                 kUsageHint;
           return false;
         }
         spec.laws.push_back(law);
       }
     } else if (key == "eps") {
-      spec.params.epsilon = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.params.epsilon)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "gamma") {
-      spec.params.gamma = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.params.gamma)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "alpha") {
-      spec.params.alpha = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.params.alpha)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "k") {
-      spec.params.k = std::atoi(value.c_str());
+      if (!parse_int_strict(value, &spec.params.k)) {
+        bad_value(key, value, "integer", err);
+        return false;
+      }
     } else if (key == "radius") {
-      spec.params.radius = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.params.radius)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "delta") {
-      spec.params.delta = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.params.delta)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "root") {
-      spec.params.root = std::atoi(value.c_str());
+      if (!parse_int_strict(value, &spec.params.root)) {
+        bad_value(key, value, "integer", err);
+        return false;
+      }
     } else if (key == "hopset") {
-      spec.params.use_hopset = value != "0";
+      if (!parse_bool_strict(value, &spec.params.use_hopset)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
     } else if (key == "max_weight") {
-      spec.scenario.max_weight = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.scenario.max_weight)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "avg_degree") {
-      spec.scenario.avg_degree = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.scenario.avg_degree)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "geo_radius") {
-      spec.scenario.geo_radius = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.scenario.geo_radius)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "chord_weight") {
-      spec.scenario.chord_weight = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.scenario.chord_weight)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "threads") {
       // Comma-list sweep over scheduler worker counts, e.g. threads=1,4.
       // Every count must produce byte-identical records (wall_ms aside) —
       // the determinism contract CI checks by diffing sweeps.
       for (const std::string& v : split_csv(value)) {
-        const int t = std::atoi(v.c_str());
-        if (t < 1) {
-          std::fprintf(err, "lightnet_cli: invalid thread count '%s'\n",
-                       v.c_str());
+        int t = 0;
+        if (!parse_int_strict(v, &t) || t < 1) {
+          *err = "lightnet_cli: invalid thread count '" + v + "'\n" +
+                 kUsageHint;
           return false;
         }
         spec.thread_counts.push_back(t);
       }
+    } else if (key == "max_rounds") {
+      if (!parse_int_strict(value, &spec.max_rounds) || spec.max_rounds < 0) {
+        bad_value(key, value, "nonnegative integer", err);
+        return false;
+      }
     } else if (key == "full_sweep") {
-      spec.full_sweep = value != "0";
+      if (!parse_bool_strict(value, &spec.full_sweep)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
     } else if (key == "quality") {
-      spec.quality = value != "0";
+      if (!parse_bool_strict(value, &spec.quality)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
     } else if (key == "wall") {
-      spec.wall = value != "0" ? 1 : 0;
+      bool wall = false;
+      if (!parse_bool_strict(value, &wall)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
+      spec.wall = wall ? 1 : 0;
     } else if (key == "scenario") {
       // Sugar for one pinned scenario: family[:n=..][:seed=..][:law=..],
       // e.g. scenario=er:n=256 — the fault-sweep one-liner.
@@ -172,8 +332,8 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
           for (const std::string& f : scenario_families())
             known = known || f == part;
           if (!known) {
-            std::fprintf(err, "lightnet_cli: unknown topology '%s'\n",
-                         part.c_str());
+            *err = "lightnet_cli: unknown topology '" + part + "'\n" +
+                   kUsageHint;
             return false;
           }
           spec.topologies.push_back(part);
@@ -185,41 +345,75 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
         const std::string pv =
             part_eq == std::string::npos ? "" : part.substr(part_eq + 1);
         if (pk == "n") {
-          spec.ns.push_back(std::atoi(pv.c_str()));
+          int n = 0;
+          if (!parse_int_strict(pv, &n)) {
+            bad_value("scenario:n", pv, "integer", err);
+            return false;
+          }
+          spec.ns.push_back(n);
         } else if (pk == "seed") {
-          spec.seeds.push_back(std::strtoull(pv.c_str(), nullptr, 10));
+          std::uint64_t s = 0;
+          if (!parse_u64_strict(pv, &s)) {
+            bad_value("scenario:seed", pv, "unsigned integer", err);
+            return false;
+          }
+          spec.seeds.push_back(s);
         } else if (pk == "law") {
           WeightLaw law;
           if (!parse_weight_law(pv, &law)) {
-            std::fprintf(err, "lightnet_cli: unknown weight law '%s'\n",
-                         pv.c_str());
+            *err = "lightnet_cli: unknown weight law '" + pv + "'\n" +
+                   kUsageHint;
             return false;
           }
           spec.laws.push_back(law);
         } else {
-          std::fprintf(err, "lightnet_cli: unknown scenario knob '%s'\n",
-                       pk.c_str());
+          *err = "lightnet_cli: unknown scenario knob '" + pk + "'\n" +
+                 kUsageHint;
           return false;
         }
       }
     } else if (key == "fault.seed") {
-      spec.fault.seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!parse_u64_strict(value, &spec.fault.seed)) {
+        bad_value(key, value, "unsigned integer", err);
+        return false;
+      }
     } else if (key == "fault.drop") {
-      spec.fault.drop = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.fault.drop)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "fault.link_fail") {
-      spec.fault.link_fail = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.fault.link_fail)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "fault.link_period") {
-      spec.fault.link_period = std::atoi(value.c_str());
+      if (!parse_int_strict(value, &spec.fault.link_period)) {
+        bad_value(key, value, "integer", err);
+        return false;
+      }
     } else if (key == "fault.crash") {
-      spec.fault.crash = std::atof(value.c_str());
+      if (!parse_double_strict(value, &spec.fault.crash)) {
+        bad_value(key, value, "number", err);
+        return false;
+      }
     } else if (key == "fault.crash_horizon") {
-      spec.fault.crash_horizon = std::atoi(value.c_str());
+      if (!parse_int_strict(value, &spec.fault.crash_horizon)) {
+        bad_value(key, value, "integer", err);
+        return false;
+      }
     } else if (key == "fault.restart") {
-      spec.fault.restart_after = std::atoi(value.c_str());
+      if (!parse_int_strict(value, &spec.fault.restart_after)) {
+        bad_value(key, value, "integer", err);
+        return false;
+      }
     } else if (key == "fault.reorder") {
-      spec.fault.reorder = value != "0";
+      if (!parse_bool_strict(value, &spec.fault.reorder)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
     } else {
-      std::fprintf(err, "lightnet_cli: unknown key '%s'\n", key.c_str());
+      *err = "lightnet_cli: unknown key '" + key + "'\n" + kUsageHint;
       return false;
     }
   }
@@ -232,54 +426,62 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
   return true;
 }
 
-std::string fault_json(const congest::FaultPlan& f) {
-  std::string out = "{";
-  out += "\"seed\":" + std::to_string(f.seed);
-  out += ",\"drop\":" + json_number(f.drop);
-  out += ",\"link_fail\":" + json_number(f.link_fail);
-  out += ",\"link_period\":" + std::to_string(f.link_period);
-  out += ",\"crash\":" + json_number(f.crash);
-  out += ",\"crash_horizon\":" + std::to_string(f.crash_horizon);
-  out += ",\"restart\":" + std::to_string(f.restart_after);
-  out += ",\"reorder\":" + std::string(f.reorder ? "true" : "false");
-  out += "}";
-  return out;
-}
-
-std::string validation_json(const Validation& v) {
-  std::string out = "{\"outcome\":\"";
-  out += outcome_name(v.outcome);
-  out += "\",\"failures\":[";
-  bool first = true;
-  for (const std::string& f : v.failures) {
-    if (!first) out += ",";
-    first = false;
-    out += "\"" + congest::json_escape(f) + "\"";
-  }
-  out += "],\"checks\":" + to_json(v.checks) + "}";
-  return out;
-}
-
-std::string params_json(const ConstructionParams& p) {
-  std::string out = "{";
-  out += "\"eps\":" + json_number(p.epsilon);
-  out += ",\"gamma\":" + json_number(p.gamma);
-  out += ",\"alpha\":" + json_number(p.alpha);
-  out += ",\"k\":" + std::to_string(p.k);
-  out += ",\"radius\":" + json_number(p.radius);
-  out += ",\"delta\":" + json_number(p.delta);
-  out += ",\"root\":" + std::to_string(p.root);
-  out += ",\"hopset\":" + std::string(p.use_hopset ? "true" : "false");
-  out += "}";
-  return out;
-}
-
 }  // namespace
+
+std::string parse_single_run_spec(const std::vector<std::string>& args,
+                                  RunSpec* out) {
+  ParsedSpec spec;
+  std::string err;
+  if (!parse_spec(args, spec, &err)) return err;
+  if (spec.list_only || spec.help_only)
+    return "spec must be key=value tokens only";
+  if (spec.wall != -1)
+    return "'wall' is not accepted here: responses must be deterministic";
+  // Exactly one run: reject any axis that fanned out (defaults are fine,
+  // except construction, which defaults to the full registry).
+  if (spec.constructions.size() != 1)
+    return "spec must name exactly one construction";
+  if (spec.topologies.size() != 1) return "spec must pin exactly one topology";
+  if (spec.ns.size() != 1) return "spec must pin exactly one n";
+  if (spec.seeds.size() != 1) return "spec must pin exactly one seed";
+  if (spec.laws.size() != 1) return "spec must pin exactly one law";
+  if (spec.thread_counts.size() != 1)
+    return "spec must pin exactly one thread count";
+
+  out->construction = spec.constructions[0];
+  out->scenario = spec.scenario;
+  out->scenario.family = spec.topologies[0];
+  out->scenario.law = spec.laws[0];
+  out->scenario.n = spec.ns[0];
+  out->scenario.seed = spec.seeds[0];
+  out->law_matters = family_uses_weight_law(out->scenario.family);
+  // An inert law is canonicalized away so e.g. path:law=unit and
+  // path:law=uniform share one cache entry (their records are already
+  // byte-identical: both say "law":"n/a").
+  if (!out->law_matters) out->scenario.law = WeightLaw::kUniform;
+  out->params = spec.params;
+  out->fault = spec.fault;
+  out->threads = spec.thread_counts[0];
+  out->max_rounds = spec.max_rounds;
+  out->full_sweep = spec.full_sweep;
+  out->quality = spec.quality;
+  out->emit_wall = false;
+  return "";
+}
 
 int run_cli(const std::vector<std::string>& args, std::FILE* out,
             std::FILE* err) {
   ParsedSpec spec;
-  if (!parse_spec(args, spec, err)) return 1;
+  std::string parse_err;
+  if (!parse_spec(args, spec, &parse_err)) {
+    std::fprintf(err, "%s\n", parse_err.c_str());
+    return 1;
+  }
+
+  if (spec.help_only) {
+    std::fputs(kUsage, out);
+    return 0;
+  }
 
   if (spec.list_only) {
     std::fprintf(out, "constructions:\n");
@@ -324,89 +526,25 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
           }
           const int hop_diameter = g.hop_diameter();
           for (const Construction* c : spec.constructions) {
-          for (const int threads : spec.thread_counts) {
-            RunContext ctx;
-            ctx.seed = seed;
-            ctx.sched.full_sweep = spec.full_sweep;
-            ctx.sched.fault = spec.fault;
-            ctx.sched.threads = threads;
-            const bool faulty = spec.fault.enabled();
-            const auto start = std::chrono::steady_clock::now();
-            Artifact artifact;
-            Validation validation;
-            if (faulty) {
-              // Faulty runs go through the graceful path: exceptions and
-              // round-cap aborts become outcomes, and the artifact is
-              // re-validated against its kind's invariants.
-              OutcomeRun r = run_with_outcome(*c, g, spec.params, ctx);
-              artifact = std::move(r.artifact);
-              validation = std::move(r.validation);
-              if (!r.error.empty())
-                validation.failures.push_back(congest::json_escape(r.error));
-            } else {
-              try {
-                artifact = c->run(g, spec.params, ctx);
-              } catch (const std::exception& e) {
-                // A construction failing on one scenario must not kill the
-                // sweep; record the failure as a JSON line and move on.
-                std::fprintf(
-                    out,
-                    "{\"construction\":\"%s\",\"topology\":\"%s\",\"n\":%d,"
-                    "\"seed\":%llu,\"error\":\"%s\"}\n",
-                    std::string(c->name()).c_str(), family.c_str(), n,
-                    static_cast<unsigned long long>(seed),
-                    congest::json_escape(e.what()).c_str());
-                continue;
-              }
+            for (const int threads : spec.thread_counts) {
+              RunSpec rspec;
+              rspec.construction = c;
+              rspec.scenario = scenario;
+              rspec.law_matters = law_matters;
+              rspec.params = spec.params;
+              rspec.fault = spec.fault;
+              rspec.threads = threads;
+              rspec.max_rounds = spec.max_rounds;
+              rspec.full_sweep = spec.full_sweep;
+              rspec.quality = spec.quality;
+              rspec.emit_wall =
+                  spec.wall == 1 || (spec.wall == -1 && !spec.fault.enabled());
+              const RunRecord rec =
+                  run_and_record(g, hop_diameter, rspec, RunContext{});
+              std::fputs(rec.json.c_str(), out);
+              std::fputc('\n', out);
+              std::fflush(out);
             }
-            const double wall_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-
-            std::string line = "{\"construction\":\"";
-            line += std::string(c->name()) + "\"";
-            line += ",\"kind\":\"" + std::string(kind_name(c->kind())) + "\"";
-            line += ",\"topology\":\"" + family + "\"";
-            line += ",\"law\":\"" +
-                    std::string(law_matters ? law_name(law) : "n/a") + "\"";
-            line += ",\"n\":" + std::to_string(n);
-            line += ",\"seed\":" + std::to_string(seed);
-            line += ",\"full_sweep\":" +
-                    std::string(spec.full_sweep ? "true" : "false");
-            // Emitted only off the serial default so threads=1 records stay
-            // byte-identical to historical output (and so a threads sweep
-            // can be diffed against serial after stripping this one field).
-            if (threads != 1) line += ",\"threads\":" + std::to_string(threads);
-            line += ",\"params\":" + params_json(spec.params);
-            line += ",\"graph\":{\"vertices\":" +
-                    std::to_string(g.num_vertices()) +
-                    ",\"edges\":" + std::to_string(g.num_edges()) +
-                    ",\"hop_diameter\":" + std::to_string(hop_diameter) + "}";
-            if (faulty) {
-              line += ",\"fault\":" + fault_json(spec.fault);
-              line += ",\"validation\":" + validation_json(validation);
-            }
-            if (spec.wall == 1 || (spec.wall == -1 && !faulty))
-              line += ",\"wall_ms\":" + json_number(wall_ms);
-            if (spec.quality) {
-              try {
-                const QualityReport report =
-                    evaluate_artifact(g, c->kind(), artifact);
-                line += ",\"metrics\":" + to_json(report);
-              } catch (const std::exception&) {
-                // A partial artifact (crashed nodes, severed components)
-                // can defeat the exact verifiers; the validation object
-                // already records what holds, so the metrics are skipped
-                // rather than the record lost.
-              }
-            }
-            line += ",\"diagnostics\":" + to_json(artifact.diagnostics);
-            line += ",\"cost\":" + congest::to_json(artifact.ledger);
-            line += "}\n";
-            std::fputs(line.c_str(), out);
-            std::fflush(out);
-          }
           }
         }
       }

@@ -12,27 +12,29 @@
 //   n             vertex counts                      (default 64)
 //   seed          seeds                              (default 1)
 //   law           unit|uniform|heavy_tail|exp_scales (default uniform)
+//   threads       scheduler worker lane counts       (default 1)
 //   eps gamma alpha k radius delta root hopset       ConstructionParams
 //   max_weight avg_degree geo_radius chord_weight    ScenarioSpec knobs
 //   scenario      family[:n=..][:seed=..][:law=..]   one-spec sugar
 //   fault.seed fault.drop fault.link_fail            congest::FaultPlan
 //   fault.link_period fault.crash fault.crash_horizon
 //   fault.restart fault.reorder                      (default: no faults)
+//   max_rounds    graceful round cap (0 = scheduler default); capped runs
+//                 carry a "validation" object like fault runs
 //   full_sweep    0|1: scheduler reference mode      (default 0)
 //   quality       0|1: exact quality metrics         (default 1)
 //   wall          0|1: emit wall_ms (default: on, but off under faults so
 //                 fault records are bit-reproducible)
 //   list          print registered constructions and families, then exit
+//   --help | -h   print the axis reference, then exit
 //
-// Each run emits one JSON line to `out`:
-//   {"construction":..,"kind":..,"topology":..,"law":..,"n":..,"seed":..,
-//    "params":{...},"graph":{"vertices":..,"edges":..,"hop_diameter":..},
-//    "wall_ms":..,"metrics":{...},"diagnostics":{...},"cost":{per-phase
-//    RoundLedger}}
-// Fault runs additionally carry "fault":{plan} and "validation":
-// {"outcome":"completed|degraded|aborted","failures":[..],"checks":{..}}
-// (api/validate.h), and run through the graceful path: construction
-// exceptions and round-cap aborts become outcomes, not lost records.
+// Every value is parsed strictly: an unknown key, an unconsumed suffix
+// ('n=12x'), or an out-of-domain value is a hard error with a usage hint,
+// never a silently-defaulted run.
+//
+// Each run emits one JSON line to `out` via api/record.h's run_and_record
+// (the same emitter the lightnetd service uses, so CLI records and service
+// responses are byte-identical for the same resolved spec).
 //
 // The parsing/sweep core is a library function so tests can drive it
 // in-process; tools/lightnet_cli.cc is the thin main().
@@ -42,10 +44,21 @@
 #include <string>
 #include <vector>
 
+#include "api/record.h"
+
 namespace lightnet::api {
 
 // Returns 0 on success, 1 on a spec error (message on `err`).
 int run_cli(const std::vector<std::string>& args, std::FILE* out,
             std::FILE* err);
+
+// Parses a spec that must resolve to exactly ONE run — no comma lists, no
+// "all", construction named explicitly — into `out`. Used by the lightnetd
+// service, whose cache is keyed per resolved run. The `wall` axis is
+// rejected (responses must be deterministic), and an inert weight law is
+// canonicalized so equivalent specs share one cache entry. Returns "" on
+// success, else the error message.
+std::string parse_single_run_spec(const std::vector<std::string>& args,
+                                  RunSpec* out);
 
 }  // namespace lightnet::api

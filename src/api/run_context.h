@@ -27,10 +27,17 @@
 
 namespace lightnet::api {
 
+class SubstratePool;  // api/substrate_pool.h
+
 struct RunContext {
   std::uint64_t seed = 1;
   congest::SchedulerOptions sched;
   congest::RoundLedger* ledger_sink = nullptr;
+  // Optional cross-run substrate cache (api/substrate_pool.h), attached by
+  // long-lived drivers (the lightnetd service). Core constructions acquire
+  // through acquire_substrate(), which falls back to a private build when
+  // this is null or bound to a different graph.
+  SubstratePool* substrate_pool = nullptr;
 
   // Derived context for a sub-construction: same scheduler mode, a stream
   // seed split off by tag, and no sink (the parent absorbs the child's
@@ -39,6 +46,7 @@ struct RunContext {
     RunContext c;
     c.seed = seed ^ tag;
     c.sched = sched;
+    c.substrate_pool = substrate_pool;
     return c;
   }
 

@@ -1,0 +1,71 @@
+// SubstratePool: shared ownership of RoundedSubstrates across runs.
+//
+// A RoundedSubstrate (routines/approx_spt.h) is a pure function of
+// (graph, ε): the (1+ε)-rounded copy plus its communication Network and
+// incident-weight tables. Multi-phase constructions already hoist one
+// substrate across their own phases; this pool hoists them across *runs* —
+// the lightnetd service attaches a pool to each cached scenario so
+// same-scenario requests for different constructions (or repeat requests
+// after an artifact eviction) share the rounding/indexing work instead of
+// rebuilding it per request.
+//
+// Ownership is shared_ptr<const RoundedSubstrate>: a run holds its handle
+// for the duration of the construction, the pool holds another, and either
+// side can drop first — evicting a scenario mid-run is safe. The pool is
+// bound to one graph by pointer identity; acquire_substrate falls back to a
+// privately-owned build when the context has no pool or the pool was built
+// for a different graph (e.g. a sub-construction running on a derived
+// graph), so core code is oblivious to whether pooling is on.
+//
+// Not thread-safe: the service handles requests sequentially, and scheduler
+// worker threads never touch the pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "routines/approx_spt.h"
+
+namespace lightnet::api {
+
+class SubstratePool {
+ public:
+  // Binds the pool to the graph whose substrates it caches. The graph must
+  // outlive the pool (the service stores both in one scenario-cache entry).
+  explicit SubstratePool(const WeightedGraph* graph) : graph_(graph) {}
+
+  const WeightedGraph* graph() const { return graph_; }
+
+  // Returns the substrate for `epsilon`, building it on first use.
+  std::shared_ptr<const RoundedSubstrate> acquire(double epsilon);
+
+  std::size_t entries() const { return by_eps_.size(); }
+  // Counters for the service's stats surface: cold builds vs. handed-out
+  // shares (a share saved one full rounding + Network construction).
+  std::size_t builds() const { return builds_; }
+  std::size_t shares() const { return shares_; }
+  std::size_t resident_bytes() const;
+
+ private:
+  const WeightedGraph* graph_;
+  // Keyed by the bit pattern of ε — the values in play are exact spec
+  // parameters (0.5, 0.125, ...), not arithmetic results, so bit equality
+  // is the right identity.
+  std::map<std::uint64_t, std::shared_ptr<const RoundedSubstrate>> by_eps_;
+  std::size_t builds_ = 0;
+  std::size_t shares_ = 0;
+};
+
+// Estimated heap footprint of one substrate (edge lists, Network adjacency,
+// incident-weight tables) — an accounting figure, not an allocator truth.
+std::size_t substrate_bytes(const RoundedSubstrate& s);
+
+// The adoption point for core constructions: pool-acquire when ctx carries a
+// pool bound to exactly this graph, otherwise build a private substrate.
+struct RunContext;
+std::shared_ptr<const RoundedSubstrate> acquire_substrate(
+    const RunContext& ctx, const WeightedGraph& g, double epsilon);
+
+}  // namespace lightnet::api

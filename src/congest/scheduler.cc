@@ -72,6 +72,7 @@ Scheduler::Scheduler(const Network& network,
       options_(options) {
   LN_REQUIRE(static_cast<int>(programs_.size()) == network.num_nodes(),
              "one program per node required");
+  adopt_scratch();
   const size_t n = programs_.size();
   inbox_start_.assign(n, 0);
   inbox_len_.assign(n, 0);
@@ -126,7 +127,59 @@ Scheduler::Scheduler(const Network& network,
   }
 }
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() { return_scratch(); }
+
+void Scheduler::adopt_scratch() {
+  SchedulerScratch* s = options_.scratch;
+  if (s == nullptr || s->in_use) return;  // nested kernel: private buffers
+  s->in_use = true;
+  ++s->adoptions;
+  scratch_ = s;
+  // Moved-from donors are left empty; the adopted buffers are cleared (or
+  // .assign()ed by the constructor right after), so only capacity carries
+  // over and execution stays bit-identical to a scratch-free run.
+  stage_ = std::move(s->stage);
+  stage_.clear();
+  deliver_buf_ = std::move(s->deliver_buf);
+  deliver_buf_.clear();
+  stage_words_ = std::move(s->stage_words);
+  stage_words_.clear();
+  deliver_words_ = std::move(s->deliver_words);
+  deliver_words_.clear();
+  arena_ = std::move(s->arena);
+  arena_.clear();
+  inbox_start_ = std::move(s->inbox_start);
+  inbox_len_ = std::move(s->inbox_len);
+  recv_count_ = std::move(s->recv_count);
+  mail_nodes_ = std::move(s->mail_nodes);
+  mail_nodes_.clear();
+  current_mail_ = std::move(s->current_mail);
+  current_mail_.clear();
+  has_mail_ = std::move(s->has_mail);
+  edge_load_ = std::move(s->edge_load);
+  touched_edges_ = std::move(s->touched_edges);
+  touched_edges_.clear();
+}
+
+void Scheduler::return_scratch() {
+  if (scratch_ == nullptr) return;
+  SchedulerScratch* s = scratch_;
+  scratch_ = nullptr;
+  s->stage = std::move(stage_);
+  s->deliver_buf = std::move(deliver_buf_);
+  s->stage_words = std::move(stage_words_);
+  s->deliver_words = std::move(deliver_words_);
+  s->arena = std::move(arena_);
+  s->inbox_start = std::move(inbox_start_);
+  s->inbox_len = std::move(inbox_len_);
+  s->recv_count = std::move(recv_count_);
+  s->mail_nodes = std::move(mail_nodes_);
+  s->current_mail = std::move(current_mail_);
+  s->has_mail = std::move(has_mail_);
+  s->edge_load = std::move(edge_load_);
+  s->touched_edges = std::move(touched_edges_);
+  s->in_use = false;
+}
 
 void Scheduler::enqueue_resolved(int lane, VertexId from, VertexId to,
                                  EdgeId edge, std::uint32_t dir_slot,

@@ -150,6 +150,43 @@ class NodeContext {
   Scheduler* scheduler_ = nullptr;
 };
 
+// Staged outgoing message: recipient plus the Delivery it will see.
+struct Pending {
+  VertexId to;
+  Delivery delivery;
+};
+
+// Cross-run arena pool. A Scheduler's flat message buffers (stage, arena,
+// inbox index, edge loads, ...) reach steady-state capacity within a run;
+// a long-lived driver that executes many runs back-to-back (the lightnetd
+// service, batch sweeps) donates one SchedulerScratch via
+// SchedulerOptions::scratch, and every Scheduler adopts the donated
+// capacity at construction and returns it — grown — at destruction, so
+// repeat runs skip the warm-up allocations entirely. Contents are opaque
+// capacity: the scheduler clears every adopted vector before use, so
+// execution is bit-identical with or without a scratch. `in_use` guards
+// nesting (a kernel started from inside another kernel's run builds
+// private buffers instead); `adoptions` feeds the service's stats surface.
+// Serial buffers only — the threads>1 lane/shard state is per-pool-size
+// and stays privately owned.
+struct SchedulerScratch {
+  std::vector<Pending> stage;
+  std::vector<Pending> deliver_buf;
+  std::vector<std::uint64_t> stage_words;
+  std::vector<std::uint64_t> deliver_words;
+  std::vector<Delivery> arena;
+  std::vector<std::uint32_t> inbox_start;
+  std::vector<std::uint32_t> inbox_len;
+  std::vector<std::uint32_t> recv_count;
+  std::vector<VertexId> mail_nodes;
+  std::vector<VertexId> current_mail;
+  std::vector<std::uint8_t> has_mail;
+  std::vector<std::uint32_t> edge_load;
+  std::vector<EdgeId> touched_edges;
+  bool in_use = false;
+  std::uint64_t adoptions = 0;
+};
+
 struct SchedulerOptions {
   // Hard cap on rounds. Exceeding it stops the execution gracefully: the
   // run returns whatever the programs computed so far and the cost ledger,
@@ -179,6 +216,9 @@ struct SchedulerOptions {
   // — the determinism reference the batched fast path is tested against
   // (identical tables and outputs; only the cost ledger differs).
   bool legacy_unbatched = false;
+  // Optional cross-run arena pool (see SchedulerScratch above). Null means
+  // every Scheduler owns its buffers privately — the one-shot default.
+  SchedulerScratch* scratch = nullptr;
 };
 
 class Scheduler {
@@ -209,12 +249,6 @@ class Scheduler {
 
   static constexpr std::uint32_t kLaneShift = 28;
   static constexpr std::uint32_t kLaneOffsetMask = (1u << kLaneShift) - 1;
-
-  // Staged outgoing message: recipient plus the Delivery it will see.
-  struct Pending {
-    VertexId to;
-    Delivery delivery;
-  };
 
   // Per-worker staging state. Each lane owns the messages its worker's
   // nodes send during a round: bucketed by recipient shard (so delivery
@@ -366,6 +400,11 @@ class Scheduler {
 
   // --- reliable transport (created lazily on first reliable send) ---
   std::unique_ptr<ReliableTransport> transport_;
+
+  // --- cross-run arena pool (see SchedulerScratch) ---
+  SchedulerScratch* scratch_ = nullptr;  // non-null only while adopted
+  void adopt_scratch();   // ctor: take the donated capacity, cleared
+  void return_scratch();  // dtor: hand the grown buffers back
 };
 
 // Convenience: instantiate `Program` (constructed from (VertexId, Args...))

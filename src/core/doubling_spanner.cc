@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "api/substrate_pool.h"
 #include "core/nets.h"
 #include "graph/mst.h"
 #include "routines/approx_spt.h"
@@ -75,9 +76,12 @@ DoublingSpannerResult build_doubling_spanner(
 
   // Hoisted across all scales: one rounded graph + Network per metric
   // (explorations at ε̂, nets at δ). The original pipeline rebuilt both per
-  // scale (and the net path once per iteration).
-  const RoundedSubstrate explore_substrate(g, explore_eps);
-  const RoundedSubstrate net_substrate(g, kNetDelta);
+  // scale (and the net path once per iteration); pool-acquired so service
+  // runs on a cached scenario skip the builds entirely.
+  const auto explore_handle = api::acquire_substrate(ctx, g, explore_eps);
+  const auto net_handle = api::acquire_substrate(ctx, g, kNetDelta);
+  const RoundedSubstrate& explore_substrate = *explore_handle;
+  const RoundedSubstrate& net_substrate = *net_handle;
 
   Hopset hopset;
   int hop_diameter = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "api/substrate_pool.h"
 #include "core/nets.h"
 #include "graph/mst.h"
 #include "routines/approx_spt.h"
@@ -31,8 +32,10 @@ MstEstimateResult estimate_mst_weight(const WeightedGraph& g, double delta,
   double separation = min_w / (2.0 * alpha);
 
   // One rounded graph + Network shared by every scale's net (the δ slack
-  // is scale-independent).
-  const RoundedSubstrate net_substrate(g, delta);
+  // is scale-independent); pool-acquired so service runs share it with
+  // other constructions at the same δ.
+  const auto net_handle = api::acquire_substrate(ctx, g, delta);
+  const RoundedSubstrate& net_substrate = *net_handle;
 
   int scale_index = 0;
   for (;; separation *= 2.0, ++scale_index) {

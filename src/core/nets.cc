@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
+#include <memory>
 #include <string>
 
+#include "api/substrate_pool.h"
 #include "routines/approx_spt.h"
 #include "routines/le_lists.h"
 #include "support/assert.h"
@@ -34,11 +35,12 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params,
   if (n == 0) return result;
 
   // One rounding + Network for the whole construction (the original code
-  // rebuilt both inside every LE-list and SPT call, once per iteration).
-  std::optional<RoundedSubstrate> local_substrate;
+  // rebuilt both inside every LE-list and SPT call, once per iteration);
+  // pool-acquired so a service run reuses the scenario's cached substrate.
+  std::shared_ptr<const RoundedSubstrate> acquired;
   if (substrate == nullptr) {
-    local_substrate.emplace(g, delta);
-    substrate = &*local_substrate;
+    acquired = api::acquire_substrate(ctx, g, delta);
+    substrate = acquired.get();
   }
   LN_REQUIRE(substrate->epsilon == delta &&
                  substrate->rounded.num_vertices() == n,

@@ -1,0 +1,104 @@
+// Bounded LRU cache for the lightnetd service.
+//
+// One template serves both cache layers:
+//   - the artifact cache maps a canonical run key to the finished record
+//     line (value = std::string, sized by length);
+//   - the scenario cache maps a canonical scenario key to the materialized
+//     graph + its SubstratePool (value = shared_ptr to an immovable entry,
+//     sized by an accounting estimate).
+//
+// Eviction is strictly LRU over a doubly-linked list with an unordered_map
+// index; both an entry count and a byte budget bound residency, and every
+// insertion evicts from the cold end until both hold. A value larger than
+// the byte budget is admitted alone (the cache holds just it) rather than
+// being unstorable — the budget is a steady-state bound, not an admission
+// filter. Hit/miss/eviction counters feed the `stats` request.
+//
+// Not thread-safe; the service handles requests sequentially.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace lightnet::service {
+
+template <typename Value, typename SizeOf>
+class LruCache {
+ public:
+  LruCache(std::size_t max_entries, std::size_t max_bytes, SizeOf size_of)
+      : max_entries_(max_entries), max_bytes_(max_bytes),
+        size_of_(std::move(size_of)) {}
+
+  // Returns the cached value and promotes it to most-recently-used, or
+  // nullptr on miss. The pointer is valid until the next insert().
+  const Value* get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  // Inserts (or overwrites) `key` and evicts from the LRU end until both
+  // budgets hold again. Returns a pointer valid until the next insert().
+  const Value* insert(const std::string& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      bytes_ -= size_of_(it->second->value);
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+    order_.push_front(Entry{key, std::move(value)});
+    index_[key] = order_.begin();
+    bytes_ += size_of_(order_.front().value);
+    while (index_.size() > 1 &&
+           (index_.size() > max_entries_ || bytes_ > max_bytes_)) {
+      const Entry& cold = order_.back();
+      bytes_ -= size_of_(cold.value);
+      index_.erase(cold.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+    return &order_.front().value;
+  }
+
+  // Visits every resident entry, most-recent first, without promoting.
+  // The stats surface uses this to aggregate live per-entry figures (e.g.
+  // substrate-pool counters) that change after insertion.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (const Entry& e : order_) fn(e.key, e.value);
+  }
+
+  std::size_t entries() const { return index_.size(); }
+  std::size_t resident_bytes() const { return bytes_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t evictions() const { return evictions_; }
+  std::size_t max_entries() const { return max_entries_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+
+  std::size_t max_entries_;
+  std::size_t max_bytes_;
+  SizeOf size_of_;
+  std::list<Entry> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace lightnet::service

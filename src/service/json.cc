@@ -1,0 +1,287 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lightnet::service {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  bool parse(JsonValue* out, std::string* err) {
+    skip_ws();
+    if (!value(out, err)) return false;
+    skip_ws();
+    if (pos_ != in_.size()) {
+      *err = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool literal(std::string_view word, std::string* err) {
+    if (in_.substr(pos_, word.size()) != word) {
+      *err = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string_token(std::string* decoded, std::string* raw, std::string* err) {
+    const size_t start = pos_;
+    ++pos_;  // opening quote
+    decoded->clear();
+    while (pos_ < in_.size()) {
+      const char c = in_[pos_];
+      if (c == '"') {
+        ++pos_;
+        if (raw != nullptr) *raw = std::string(in_.substr(start, pos_ - start));
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        *err = "unescaped control character in string";
+        return false;
+      }
+      if (c != '\\') {
+        decoded->push_back(c);
+        ++pos_;
+        continue;
+      }
+      if (pos_ + 1 >= in_.size()) break;
+      const char esc = in_[pos_ + 1];
+      pos_ += 2;
+      switch (esc) {
+        case '"': decoded->push_back('"'); break;
+        case '\\': decoded->push_back('\\'); break;
+        case '/': decoded->push_back('/'); break;
+        case 'b': decoded->push_back('\b'); break;
+        case 'f': decoded->push_back('\f'); break;
+        case 'n': decoded->push_back('\n'); break;
+        case 'r': decoded->push_back('\r'); break;
+        case 't': decoded->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) {
+            *err = "truncated \\u escape";
+            return false;
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = in_[pos_ + static_cast<size_t>(i)];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              *err = "invalid \\u escape";
+              return false;
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by the protocol; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            decoded->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            decoded->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            decoded->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            decoded->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            decoded->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            decoded->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          *err = "invalid escape character";
+          return false;
+      }
+    }
+    *err = "unterminated string";
+    return false;
+  }
+
+  bool number_token(JsonValue* out, std::string* err) {
+    const size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    if (pos_ >= in_.size() || !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+      *err = "invalid number";
+      return false;
+    }
+    while (pos_ < in_.size() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+    if (pos_ < in_.size() && in_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= in_.size() || !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        *err = "invalid number";
+        return false;
+      }
+      while (pos_ < in_.size() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+    }
+    if (pos_ < in_.size() && (in_[pos_] == 'e' || in_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < in_.size() && (in_[pos_] == '+' || in_[pos_] == '-')) ++pos_;
+      if (pos_ >= in_.size() || !std::isdigit(static_cast<unsigned char>(in_[pos_]))) {
+        *err = "invalid number";
+        return false;
+      }
+      while (pos_ < in_.size() && std::isdigit(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->raw = std::string(in_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool value(JsonValue* out, std::string* err) {
+    if (++depth_ > 32) {
+      *err = "nesting too deep";
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= in_.size()) {
+      *err = "unexpected end of input";
+      return false;
+    }
+    bool ok = false;
+    const char c = in_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->type = JsonValue::Type::kObject;
+      skip_ws();
+      if (pos_ < in_.size() && in_[pos_] == '}') {
+        ++pos_;
+        ok = true;
+      } else {
+        for (;;) {
+          skip_ws();
+          if (pos_ >= in_.size() || in_[pos_] != '"') {
+            *err = "expected object key";
+            break;
+          }
+          std::string key;
+          if (!string_token(&key, nullptr, err)) break;
+          skip_ws();
+          if (pos_ >= in_.size() || in_[pos_] != ':') {
+            *err = "expected ':' after object key";
+            break;
+          }
+          ++pos_;
+          JsonValue member;
+          if (!value(&member, err)) break;
+          out->object.emplace_back(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ < in_.size() && in_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < in_.size() && in_[pos_] == '}') {
+            ++pos_;
+            ok = true;
+          } else {
+            *err = "expected ',' or '}' in object";
+          }
+          break;
+        }
+      }
+    } else if (c == '[') {
+      ++pos_;
+      out->type = JsonValue::Type::kArray;
+      skip_ws();
+      if (pos_ < in_.size() && in_[pos_] == ']') {
+        ++pos_;
+        ok = true;
+      } else {
+        for (;;) {
+          JsonValue element;
+          if (!value(&element, err)) break;
+          out->array.push_back(std::move(element));
+          skip_ws();
+          if (pos_ < in_.size() && in_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (pos_ < in_.size() && in_[pos_] == ']') {
+            ++pos_;
+            ok = true;
+          } else {
+            *err = "expected ',' or ']' in array";
+          }
+          break;
+        }
+      }
+    } else if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      ok = string_token(&out->text, &out->raw, err);
+    } else if (c == 't') {
+      ok = literal("true", err);
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      out->raw = "true";
+    } else if (c == 'f') {
+      ok = literal("false", err);
+      out->type = JsonValue::Type::kBool;
+      out->raw = "false";
+    } else if (c == 'n') {
+      ok = literal("null", err);
+      out->type = JsonValue::Type::kNull;
+      out->raw = "null";
+    } else {
+      ok = number_token(out, err);
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool parse_json(std::string_view input, JsonValue* out, std::string* err) {
+  *out = JsonValue{};
+  Parser parser(input);
+  return parser.parse(out, err);
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace lightnet::service

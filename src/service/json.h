@@ -1,0 +1,45 @@
+// Minimal JSON reader for lightnetd request lines.
+//
+// The service protocol is JSON-lines: one complete JSON object per request
+// line. This parser covers exactly the JSON grammar (objects, arrays,
+// strings with escapes, numbers, true/false/null) with two properties the
+// service depends on:
+//   - every scalar keeps its RAW source text alongside the decoded value,
+//     so a request's "id" is echoed back byte-for-byte (a number like
+//     1.50 or 1e3 round-trips verbatim, not re-formatted);
+//   - parse errors return a message instead of throwing, so one malformed
+//     line yields one error response and the serve loop keeps going.
+//
+// Writing-side helpers are not needed: responses are assembled from string
+// literals plus api/record.h fragments, which are already JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lightnet::service {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string raw;      // exact source slice (scalars only)
+  std::string text;     // decoded value for strings
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  // First member with `key`, or nullptr. Objects are small (a request has
+  // two or three keys), so linear scan is right.
+  const JsonValue* find(std::string_view key) const;
+};
+
+// Parses `input` as one JSON value with only whitespace around it.
+// On failure returns false and sets *err to a one-line message.
+bool parse_json(std::string_view input, JsonValue* out, std::string* err);
+
+// `s` as a JSON string token (quotes added, specials escaped).
+std::string json_quote(std::string_view s);
+
+}  // namespace lightnet::service

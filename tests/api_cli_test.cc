@@ -206,6 +206,43 @@ TEST(Cli, RejectsUnknownConstructionAndKey) {
   EXPECT_EQ(exit_code, 1);
 }
 
+TEST(Cli, HelpListsEveryAxis) {
+  int exit_code = -1;
+  const auto lines = run_cli_lines({"--help"}, &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  std::string all;
+  for (const std::string& line : lines) all += line + "\n";
+  EXPECT_NE(all.find("usage: lightnet_cli"), std::string::npos);
+  for (const char* axis : {"construction=", "topology=", "n=", "seed=",
+                           "law=", "threads=", "max_rounds=", "fault.drop=",
+                           "fault.crash=", "scenario=", "quality=", "wall="})
+    EXPECT_NE(all.find(axis), std::string::npos) << axis;
+}
+
+TEST(Cli, StrictValueParsingRejectsTrailingGarbage) {
+  // Every unrecognized or half-parsed value is a hard error with a usage
+  // hint, never a silent atoi truncation.
+  for (const char* bad : {"n=12x", "seed=3.5", "threads=two", "quality=yes",
+                          "fault.drop=0.1%", "max_rounds=-1", "n="}) {
+    int exit_code = -1;
+    run_cli_lines({"construction=slt", "topology=path", bad}, &exit_code);
+    EXPECT_EQ(exit_code, 1) << bad;
+  }
+}
+
+TEST(Cli, MaxRoundsAxisAbortsGracefully) {
+  int exit_code = -1;
+  const auto lines = run_cli_lines(
+      {"construction=bfs_tree", "topology=path", "n=64", "seed=1",
+       "quality=0", "max_rounds=5", "wall=0"},
+      &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"max_rounds\":5"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"outcome\":\"aborted\""), std::string::npos)
+      << lines[0];
+}
+
 TEST(Cli, ListModePrintsRegistry) {
   int exit_code = -1;
   const auto lines = run_cli_lines({"list"}, &exit_code);

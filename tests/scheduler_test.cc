@@ -152,6 +152,45 @@ TEST(RoundLedger, AccumulatesPhases) {
   EXPECT_EQ(outer.phases()[0].first, "inner/a");
 }
 
+TEST(Scheduler, ScratchAdoptionIsBitIdenticalAndReusesCapacity) {
+  const WeightedGraph g = path4();
+  auto run_relay = [&](SchedulerScratch* scratch) {
+    Network net(g);
+    std::vector<int> received(4, 0);
+    std::vector<std::unique_ptr<NodeProgram>> programs;
+    for (VertexId v = 0; v < 4; ++v)
+      programs.push_back(std::make_unique<RelayProgram>(v, 4, 5, received));
+    SchedulerOptions options;
+    options.scratch = scratch;
+    Scheduler sched(net, std::move(programs), options);
+    const CostStats cost = sched.run();
+    return std::make_pair(received, cost);
+  };
+  const auto [plain_recv, plain_cost] = run_relay(nullptr);
+
+  SchedulerScratch scratch;
+  const auto [first_recv, first_cost] = run_relay(&scratch);
+  EXPECT_FALSE(scratch.in_use);  // returned at Scheduler destruction
+  EXPECT_EQ(scratch.adoptions, 1u);
+  const std::size_t warm_capacity = scratch.arena.capacity();
+  EXPECT_GT(warm_capacity, 0u);  // grown buffers came back
+
+  const auto [second_recv, second_cost] = run_relay(&scratch);
+  EXPECT_EQ(scratch.adoptions, 2u);
+  EXPECT_GE(scratch.arena.capacity(), warm_capacity);
+
+  // Adopted capacity is cleared before use: execution is bit-identical
+  // with or without a scratch, warm or cold.
+  EXPECT_EQ(first_recv, plain_recv);
+  EXPECT_EQ(second_recv, plain_recv);
+  for (const CostStats& cost : {first_cost, second_cost}) {
+    EXPECT_EQ(cost.rounds, plain_cost.rounds);
+    EXPECT_EQ(cost.messages, plain_cost.messages);
+    EXPECT_EQ(cost.words, plain_cost.words);
+    EXPECT_EQ(cost.max_edge_load, plain_cost.max_edge_load);
+  }
+}
+
 TEST(RoundLedger, GlobalBroadcastChargeShape) {
   RoundLedger ledger;
   ledger.charge_global_broadcast("bc", 100, 7);
