@@ -24,6 +24,7 @@ struct ParsedSpec {
   congest::FaultPlan fault;
   std::vector<int> thread_counts;
   int max_rounds = 0;  // 0 = scheduler default cap
+  bool sequential_scales = false;
   bool full_sweep = false;
   bool quality = true;
   bool list_only = false;
@@ -62,6 +63,8 @@ const char kUsage[] =
     "  max_rounds=INT   graceful abort past this many rounds (default:\n"
     "                   scheduler cap; runs gain a \"validation\" object)\n"
     "  full_sweep=0|1   scheduler reference mode             (default 0)\n"
+    "  sequential_scales=0|1  reference one-scale-at-a-time pipeline for\n"
+    "                   multi-scale constructions            (default 0)\n"
     "  quality=0|1      exact quality metrics                (default 1)\n"
     "  wall=0|1         emit wall_ms (default: on, but off under faults so\n"
     "                   fault records are bit-reproducible)\n"
@@ -292,6 +295,11 @@ bool parse_spec(const std::vector<std::string>& args, ParsedSpec& spec,
         bad_value(key, value, "nonnegative integer", err);
         return false;
       }
+    } else if (key == "sequential_scales") {
+      if (!parse_bool_strict(value, &spec.sequential_scales)) {
+        bad_value(key, value, "0|1", err);
+        return false;
+      }
     } else if (key == "full_sweep") {
       if (!parse_bool_strict(value, &spec.full_sweep)) {
         bad_value(key, value, "0|1", err);
@@ -463,6 +471,7 @@ std::string parse_single_run_spec(const std::vector<std::string>& args,
   out->fault = spec.fault;
   out->threads = spec.thread_counts[0];
   out->max_rounds = spec.max_rounds;
+  out->sequential_scales = spec.sequential_scales;
   out->full_sweep = spec.full_sweep;
   out->quality = spec.quality;
   out->emit_wall = false;
@@ -535,6 +544,7 @@ int run_cli(const std::vector<std::string>& args, std::FILE* out,
               rspec.fault = spec.fault;
               rspec.threads = threads;
               rspec.max_rounds = spec.max_rounds;
+              rspec.sequential_scales = spec.sequential_scales;
               rspec.full_sweep = spec.full_sweep;
               rspec.quality = spec.quality;
               rspec.emit_wall =

@@ -76,6 +76,7 @@ RunRecord run_and_record(const WeightedGraph& g, int hop_diameter,
   ctx.sched.full_sweep = spec.full_sweep;
   ctx.sched.fault = spec.fault;
   ctx.sched.threads = spec.threads;
+  ctx.sched.sequential_scales = spec.sequential_scales;
   if (spec.max_rounds > 0) ctx.sched.max_rounds = spec.max_rounds;
 
   // Graceful path: outcomes instead of exceptions whenever the run can
@@ -125,6 +126,9 @@ RunRecord run_and_record(const WeightedGraph& g, int hop_diameter,
   // diffed against serial after stripping this one field).
   if (spec.threads != 1) line += ",\"threads\":" + std::to_string(spec.threads);
   if (out.threads_clamped) line += ",\"threads_clamped\":true";
+  // Same emit-off-default rule: concurrent-scale records (the default) stay
+  // byte-identical to what a pre-knob build produced.
+  if (spec.sequential_scales) line += ",\"sequential_scales\":true";
   if (spec.max_rounds > 0)
     line += ",\"max_rounds\":" + std::to_string(spec.max_rounds);
   line += ",\"params\":" + params_json(spec.params);
@@ -172,6 +176,7 @@ std::string canonical_run_key(const RunSpec& spec) {
   key += "|params=" + params_json(spec.params);
   key += "|fault=" + fault_json(spec.fault);
   key += "|threads=" + std::to_string(spec.threads);
+  if (spec.sequential_scales) key += "|sequential_scales=1";
   key += "|max_rounds=" + std::to_string(spec.max_rounds);
   key += "|full_sweep=" + std::string(spec.full_sweep ? "1" : "0");
   key += "|quality=" + std::string(spec.quality ? "1" : "0");

@@ -44,6 +44,10 @@ struct RunSpec {
   congest::FaultPlan fault;
   int threads = 1;
   int max_rounds = 0;  // 0 = scheduler default (effectively uncapped)
+  // Pins multi-scale constructions (doubling_spanner) to the reference
+  // one-scale-at-a-time pipeline instead of the fused concurrent waves.
+  // Artifacts are bit-identical either way; only the cost ledger differs.
+  bool sequential_scales = false;
   bool full_sweep = false;
   bool quality = true;
   bool emit_wall = false;  // service and fault records must stay deterministic

@@ -16,6 +16,15 @@
 // the per-edge congestion window (so max_edge_load reports the true
 // bandwidth multiple, and strict_congest rejects any batch that exceeds the
 // one-message budget).
+//
+// Channels: independent logical flows sharing one scheduler execution (the
+// doubling pipeline runs many scales' explorations concurrently, one
+// channel per scale). The channel id rides in a byte that was struct
+// padding, so tagged messages cost nothing extra; when
+// SchedulerOptions::channels > 1 the scheduler additionally accounts
+// messages, words and per-edge congestion per channel
+// (CostStats::per_channel). Receivers dispatch on Message::channel —
+// delivery itself is channel-oblivious.
 #pragma once
 
 #include <array>
@@ -34,6 +43,7 @@ inline constexpr int kMaxWords = 3;
 struct Message {
   std::uint32_t tag = 0;
   std::uint8_t size = 0;          // inline words in `words`
+  std::uint8_t channel = 0;       // logical flow id (see header comment)
   std::uint16_t ext_size = 0;     // words resident in the payload arena
   std::uint32_t ext_offset = 0;   // arena offset (scheduler-internal)
   std::array<std::uint64_t, kMaxWords> words{};

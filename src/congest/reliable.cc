@@ -42,7 +42,7 @@ void ReliableTransport::transmit_head(LinkState& st, int flat) {
   for (int i = 0; i < msg.size; ++i) words[2 + i] = msg.words[i];
   scheduler_->enqueue_words(/*lane=*/0, st.owner, inc.neighbor, inc.edge,
                             scheduler_->network_->dir_slot(flat),
-                            kTagReliableData,
+                            kTagReliableData, /*channel=*/0,
                             {words, static_cast<size_t>(2 + msg.size)});
   st.in_flight = true;
   st.sent_this_round = true;

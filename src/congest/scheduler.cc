@@ -30,19 +30,22 @@ void NodeContext::send_on_link(int link_index, const Message& msg) {
 }
 
 void NodeContext::send_words_on_link(int link_index, std::uint32_t tag,
-                                     std::span<const std::uint64_t> words) {
+                                     std::span<const std::uint64_t> words,
+                                     std::uint8_t channel) {
   LN_ASSERT_MSG(
       link_index >= 0 && static_cast<size_t>(link_index) < links_.size(),
       "link index out of range");
   const Incidence& inc = links_[static_cast<size_t>(link_index)];
   const std::uint32_t slot = network_->dir_slot(link_base_ + link_index);
   scheduler_->enqueue_words(lane_, self_, inc.neighbor, inc.edge, slot, tag,
-                            words);
+                            channel, words);
 }
 
 void NodeContext::broadcast_words(std::uint32_t tag,
-                                  std::span<const std::uint64_t> words) {
-  scheduler_->broadcast_words(lane_, self_, link_base_, links_, tag, words);
+                                  std::span<const std::uint64_t> words,
+                                  std::uint8_t channel) {
+  scheduler_->broadcast_words(lane_, self_, link_base_, links_, tag, channel,
+                              words);
 }
 
 void NodeContext::reliable_send_on_link(int link_index, const Message& msg) {
@@ -85,6 +88,16 @@ Scheduler::Scheduler(const Network& network,
     if (programs_[static_cast<size_t>(v)]->wants_idle_rounds())
       idle_riders_.push_back(v);
 
+  LN_REQUIRE(options_.channels >= 1 && options_.channels <= 256,
+             "channels must fit the message's 8-bit channel tag");
+  if (options_.channels > 1) {
+    channel_totals_.assign(static_cast<size_t>(options_.channels), {});
+    edge_load_ch_.assign(static_cast<size_t>(options_.channels) *
+                             static_cast<size_t>(network.graph().num_edges()) *
+                             2,
+                         0);
+  }
+
   options_.threads = std::clamp(options_.threads, 1, kMaxLanes);
   if (options_.threads > 1) {
     const int t = options_.threads;
@@ -103,6 +116,8 @@ Scheduler::Scheduler(const Network& network,
     for (Lane& lane : lanes_) {
       lane.out.resize(static_cast<size_t>(t));
       lane.dout.resize(static_cast<size_t>(t));
+      if (options_.channels > 1)
+        lane.channels.assign(static_cast<size_t>(options_.channels), {});
     }
     shard_arena_base_.resize(static_cast<size_t>(t));
     shard_totals_.resize(static_cast<size_t>(t));
@@ -208,6 +223,22 @@ void Scheduler::enqueue_resolved(int lane, VertexId from, VertexId to,
     LN_ASSERT_MSG(edge_load_[dir_slot] <= 1,
                   "CONGEST violation: >1 message on an edge in one round");
   }
+  if (!edge_load_ch_.empty()) {
+    // Multi-channel accounting (options_.channels > 1). The channel window
+    // shares edge_load_'s single-sender-per-slot argument, so lanes write
+    // it without synchronization; message/word counters go to the lane's
+    // fold-at-barrier accumulators in parallel runs.
+    LN_ASSERT_MSG(msg.channel < options_.channels,
+                  "message channel out of range");
+    edge_load_ch_[static_cast<size_t>(msg.channel) * edge_load_.size() +
+                  dir_slot] += units;
+    ChannelCost& cc = lanes_.empty()
+                          ? channel_totals_[msg.channel]
+                          : lanes_[static_cast<size_t>(lane)]
+                                .channels[msg.channel];
+    ++cc.messages;
+    cc.words += static_cast<std::uint64_t>(total);
+  }
   const size_t to_index = static_cast<size_t>(to);
   if (lanes_.empty()) {
     // Serial staging. Recipient-list bookkeeping is skipped after a dense
@@ -237,10 +268,12 @@ void Scheduler::enqueue_resolved(int lane, VertexId from, VertexId to,
 }
 
 Message Scheduler::stage_batched_message(
-    int lane, std::uint32_t tag, std::span<const std::uint64_t> words) {
+    int lane, std::uint32_t tag, std::uint8_t channel,
+    std::span<const std::uint64_t> words) {
   LN_ASSERT(words.size() <= kBatchChunkWords);
   Message msg;
   msg.tag = tag;
+  msg.channel = channel;
   if (words.size() <= static_cast<size_t>(kMaxWords)) {
     for (std::uint64_t w : words) msg.words[msg.size++] = w;
   } else if (lanes_.empty()) {
@@ -265,23 +298,26 @@ Message Scheduler::stage_batched_message(
 
 void Scheduler::enqueue_words(int lane, VertexId from, VertexId to, EdgeId edge,
                               std::uint32_t dir_slot, std::uint32_t tag,
+                              std::uint8_t channel,
                               std::span<const std::uint64_t> words) {
   for (size_t off = 0; off == 0 || off < words.size();
        off += kBatchChunkWords) {
     const size_t len = std::min(words.size() - off, kBatchChunkWords);
-    enqueue_resolved(lane, from, to, edge, dir_slot,
-                     stage_batched_message(lane, tag, words.subspan(off, len)));
+    enqueue_resolved(
+        lane, from, to, edge, dir_slot,
+        stage_batched_message(lane, tag, channel, words.subspan(off, len)));
   }
 }
 
 void Scheduler::broadcast_words(int lane, VertexId from, int link_base,
                                 std::span<const Incidence> links,
-                                std::uint32_t tag,
+                                std::uint32_t tag, std::uint8_t channel,
                                 std::span<const std::uint64_t> words) {
   for (size_t off = 0; off == 0 || off < words.size();
        off += kBatchChunkWords) {
     const size_t len = std::min(words.size() - off, kBatchChunkWords);
-    const Message msg = stage_batched_message(lane, tag, words.subspan(off, len));
+    const Message msg =
+        stage_batched_message(lane, tag, channel, words.subspan(off, len));
     for (size_t i = 0; i < links.size(); ++i) {
       const Incidence& inc = links[i];
       const std::uint32_t slot =
@@ -292,6 +328,11 @@ void Scheduler::broadcast_words(int lane, VertexId from, int link_base,
 }
 
 void Scheduler::flush_edge_loads() {
+  const size_t stride = edge_load_.size();
+  // Hoisted so single-channel runs pay one check, not one per touched edge
+  // (the stores into edge_load_ below would otherwise force a reload of the
+  // size every iteration).
+  const size_t num_channels = channel_totals_.size();
   for (EdgeId e : touched_edges_) {
     const size_t base = static_cast<size_t>(e) * 2;
     const std::uint64_t load =
@@ -299,6 +340,18 @@ void Scheduler::flush_edge_loads() {
     stats_.max_edge_load = std::max(stats_.max_edge_load, load);
     edge_load_[base] = 0;
     edge_load_[base + 1] = 0;
+    // Channel windows share the touched list: a channel slot can only be
+    // nonzero when its untagged slot is.
+    for (size_t ch = 0; ch < num_channels; ++ch) {
+      const size_t ch_base = ch * stride + base;
+      const std::uint64_t ch_load =
+          std::max(edge_load_ch_[ch_base], edge_load_ch_[ch_base + 1]);
+      if (ch_load == 0) continue;
+      channel_totals_[ch].max_edge_load =
+          std::max(channel_totals_[ch].max_edge_load, ch_load);
+      edge_load_ch_[ch_base] = 0;
+      edge_load_ch_[ch_base + 1] = 0;
+    }
   }
   touched_edges_.clear();
 }
@@ -318,8 +371,12 @@ void Scheduler::deliver_stage(int round) {
   // fill side. Batched payloads flip with them: ext offsets assigned at
   // stage time stay valid because the whole arena moves as one block.
   std::swap(stage_, deliver_buf_);
-  std::swap(stage_words_, deliver_words_);
-  stage_words_.clear();
+  // Ext-word arenas only move when a batched program actually staged long
+  // payloads; the common standard-message round skips the swap entirely.
+  if (!stage_words_.empty() || !deliver_words_.empty()) {
+    std::swap(stage_words_, deliver_words_);
+    stage_words_.clear();
+  }
   std::swap(current_mail_, mail_nodes_);
   for (VertexId v : current_mail_) has_mail_[static_cast<size_t>(v)] = 0;
 
@@ -381,10 +438,12 @@ void Scheduler::deliver_stage(int round) {
   // of this round's delivered volume, so the mode sequence is deterministic.
   // Fault plans need per-recipient lists for drop accounting and reorder,
   // and the reliable transport walks current_mail_ eagerly, so both pin the
-  // sparse direction.
+  // sparse direction. The volume test leads: sparse workloads (tiny
+  // frontiers over huge vertex ranges, e.g. path BFS) fail it in one
+  // comparison and never touch the fault/transport fields.
   stage_skiplist_ =
-      !fault_ && !transport_ && delivered != 0 &&
-      delivered * 4 >= static_cast<size_t>(num_nodes_);
+      delivered * 4 >= static_cast<size_t>(num_nodes_) && delivered != 0 &&
+      !fault_ && !transport_;
 }
 
 void Scheduler::apply_faults(int round) {
@@ -548,8 +607,9 @@ CostStats Scheduler::run() {
         const std::uint32_t len = inbox_len_[vi];
         const Delivery* inbox =
             len != 0 ? arena_.data() + inbox_start_[vi] : nullptr;
-        programs_[vi]->on_round(ctx, std::span<const Delivery>(inbox, len));
-        if (!programs_[vi]->quiescent()) {
+        NodeProgram* program = programs_[vi].get();
+        program->on_round(ctx, std::span<const Delivery>(inbox, len));
+        if (!program->quiescent()) {
           wake_this_round_ = true;
           if (!options_.full_sweep) mark_frontier(v);
         }
@@ -566,6 +626,7 @@ CostStats Scheduler::run() {
   // sent without raising in_flight past the quiescence check — kept for
   // symmetry and future relaxed modes).
   flush_edge_loads();
+  if (!channel_totals_.empty()) stats_.per_channel = channel_totals_;
   return stats_;
 }
 
@@ -652,6 +713,11 @@ void Scheduler::run_round_parallel(int round) {
     lane.messages = 0;
     stats_.words += lane.words_sent;
     lane.words_sent = 0;
+    for (size_t ch = 0; ch < lane.channels.size(); ++ch) {
+      channel_totals_[ch].messages += lane.channels[ch].messages;
+      channel_totals_[ch].words += lane.channels[ch].words;
+      lane.channels[ch] = {};
+    }
     stats_.inbox_reallocs += lane.reallocs;
     lane.reallocs = 0;
     if (lane.wake_any) {

@@ -105,9 +105,13 @@ class NodeContext {
   // double-buffered word arena. The congestion window is charged
   // ceil(words / kMaxWords) standard-message units, so strict_congest
   // rejects any batch wider than one standard message and max_edge_load
-  // reports the honest bandwidth multiple of a relaxed run.
+  // reports the honest bandwidth multiple of a relaxed run. `channel` tags
+  // the message's logical flow (Message::channel); with
+  // SchedulerOptions::channels > 1 the flow's costs are additionally
+  // accounted in CostStats::per_channel.
   void send_words_on_link(int link_index, std::uint32_t tag,
-                          std::span<const std::uint64_t> words);
+                          std::span<const std::uint64_t> words,
+                          std::uint8_t channel = 0);
 
   // Reliable form of send_on_link: the message is framed with a sequence
   // number and shipped through the scheduler's stop-and-wait transport
@@ -124,8 +128,8 @@ class NodeContext {
   // The payload is written to the arena once and shared by all deg(v)
   // messages (each still charged its full word count in CostStats), so a
   // frontier broadcast costs one memcpy instead of deg(v).
-  void broadcast_words(std::uint32_t tag,
-                       std::span<const std::uint64_t> words);
+  void broadcast_words(std::uint32_t tag, std::span<const std::uint64_t> words,
+                       std::uint8_t channel = 0);
 
   // Full payload of a delivered message: the inline words for standard
   // messages, the arena-resident span for batched ones. Valid only during
@@ -216,6 +220,19 @@ struct SchedulerOptions {
   // — the determinism reference the batched fast path is tested against
   // (identical tables and outputs; only the cost ledger differs).
   bool legacy_unbatched = false;
+  // Number of logical channels sharing this execution (Message::channel).
+  // 1 (the default) adds no accounting at all; values > 1 allocate
+  // per-channel message/word counters and a channel-strided congestion
+  // window, reported in CostStats::per_channel. Channel ids on messages
+  // must be < channels.
+  int channels = 1;
+  // The doubling pipeline's reference mode: run the O(log W) scales as the
+  // original strictly sequential loop of scheduler passes instead of the
+  // concurrent-scale waves (core/doubling_spanner.cc). Spanners are
+  // bit-identical either way — this is the reference the concurrent path
+  // is tested against, the same pattern legacy_unbatched serves for the
+  // batched encoding.
+  bool sequential_scales = false;
   // Optional cross-run arena pool (see SchedulerScratch above). Null means
   // every Scheduler owns its buffers privately — the one-shot default.
   SchedulerScratch* scratch = nullptr;
@@ -266,6 +283,9 @@ class Scheduler {
     std::uint64_t reallocs = 0;
     std::uint8_t wake_any = 0;
     std::vector<EdgeId> touched;              // edge-load slots this lane hit
+    // Lane-local per-channel message/word counters (channels > 1 only),
+    // folded with the scalar counters at the barrier.
+    std::vector<ChannelCost> channels;
   };
 
   // Per-recipient-shard scratch owned by exactly one delivery worker.
@@ -284,14 +304,17 @@ class Scheduler {
   // fit, else one block of the lane's word arena; the shared packing step
   // of enqueue_words and broadcast_words.
   Message stage_batched_message(int lane, std::uint32_t tag,
+                                std::uint8_t channel,
                                 std::span<const std::uint64_t> words);
   void enqueue_words(int lane, VertexId from, VertexId to, EdgeId edge,
                      std::uint32_t dir_slot, std::uint32_t tag,
+                     std::uint8_t channel,
                      std::span<const std::uint64_t> words);
   // One arena copy shared by all links of `from` (see
   // NodeContext::broadcast_words).
   void broadcast_words(int lane, VertexId from, int link_base,
                        std::span<const Incidence> links, std::uint32_t tag,
+                       std::uint8_t channel,
                        std::span<const std::uint64_t> words);
   // Folds the per-edge loads of the last send window into max_edge_load and
   // resets them (single owner of the touched_edges_ bookkeeping).
@@ -374,6 +397,15 @@ class Scheduler {
   // direction, which flush_edge_loads folds idempotently).
   std::vector<std::uint32_t> edge_load_;  // indexed by 2*edge + direction
   std::vector<EdgeId> touched_edges_;
+
+  // --- per-channel accounting (allocated only when options_.channels > 1;
+  //     a single-channel run never touches any of this) ---
+  std::vector<ChannelCost> channel_totals_;  // running message/word counts
+  // Channel-strided congestion windows, indexed channel * (2E) + dir_slot.
+  // Like edge_load_, each directed slot has a single sender per round, so
+  // lanes write without synchronization; flush_edge_loads folds the touched
+  // slots of every channel alongside the untagged window.
+  std::vector<std::uint32_t> edge_load_ch_;
 
   // --- parallel execution (allocated only when options_.threads > 1) ---
   std::unique_ptr<WorkerPool> pool_;

@@ -51,6 +51,19 @@ std::string to_json(const CostStats& cost) {
     out += ",\"crashed_nodes\":" + std::to_string(cost.crashed_nodes);
   if (cost.rounds_capped != 0)
     out += ",\"rounds_capped\":" + std::to_string(cost.rounds_capped);
+  // Channel slices appear only for multi-channel executions, so every
+  // single-channel record keeps its historical byte-exact schema.
+  if (!cost.per_channel.empty()) {
+    out += ",\"channels\":[";
+    for (size_t i = 0; i < cost.per_channel.size(); ++i) {
+      const ChannelCost& ch = cost.per_channel[i];
+      if (i != 0) out += ",";
+      out += "{\"messages\":" + std::to_string(ch.messages);
+      out += ",\"words\":" + std::to_string(ch.words);
+      out += ",\"max_edge_load\":" + std::to_string(ch.max_edge_load) + "}";
+    }
+    out += "]";
+  }
   out += "}";
   return out;
 }

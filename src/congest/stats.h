@@ -18,6 +18,17 @@ namespace lightnet::congest {
 // produce invalid JSON regardless of what a caller names a phase.
 std::string json_escape(const std::string& s);
 
+// Per-channel slice of an execution's model costs (SchedulerOptions::
+// channels > 1). max_edge_load is the channel's own congestion window: the
+// max number of message units the channel alone put on one directed edge in
+// one round, so Σ channel messages == the untagged total while the channel
+// loads bound each flow's bandwidth share.
+struct ChannelCost {
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  std::uint64_t max_edge_load = 0;
+};
+
 struct CostStats {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;
@@ -61,6 +72,13 @@ struct CostStats {
   // phase barriers (summed over all phases of all parallel rounds).
   std::uint64_t barrier_wait_ns = 0;
 
+  // Per-channel accounting, populated only when the execution ran with
+  // SchedulerOptions::channels > 1 (empty otherwise, and then omitted from
+  // the JSON so single-channel records keep their historical schema).
+  // Invariant: Σ per_channel[i].messages == messages and likewise for
+  // words — the channel tag partitions the untagged totals.
+  std::vector<ChannelCost> per_channel;
+
   CostStats& operator+=(const CostStats& o) {
     rounds += o.rounds;
     messages += o.messages;
@@ -78,6 +96,10 @@ struct CostStats {
     max_shard_skew = max_shard_skew > o.max_shard_skew ? max_shard_skew
                                                        : o.max_shard_skew;
     barrier_wait_ns += o.barrier_wait_ns;
+    // per_channel is deliberately NOT merged: channel i of one execution and
+    // channel i of another are unrelated flows (the doubling pipeline maps
+    // channels to different scales per wave), so the slices stay phase-local
+    // and aggregated totals keep their historical single-channel schema.
     return *this;
   }
 };

@@ -1,6 +1,8 @@
 #include "core/doubling_spanner.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -20,34 +22,24 @@ namespace {
 // δ the pipeline instantiates Theorem 3 with (net covering radius ε·Δ/2).
 constexpr double kNetDelta = 0.5;
 
-// Filters the previous (finer) scale's net down to the new scale's
-// separation using the previous exploration's distance table: a point is
-// kept iff no already-kept point sits within `separation` of it. Pairs
-// absent from the table are > 2·Δ_prev apart, which is beyond `separation`
-// for every ε < 1, so the table is a complete witness.
-std::vector<VertexId> filter_seeds(
-    const std::vector<VertexId>& prev_net,
-    const BoundedMultiSourceResult& prev_explore, Weight separation,
-    std::vector<char>& kept_scratch) {
-  std::vector<VertexId> seeds;
-  seeds.reserve(prev_net.size());
-  std::fill(kept_scratch.begin(), kept_scratch.end(), 0);
-  for (VertexId p : prev_net) {
-    bool blocked = false;
-    for (const BoundedSourceEntry& e :
-         prev_explore.table[static_cast<size_t>(p)]) {
-      if (e.source != p && kept_scratch[static_cast<size_t>(e.source)] &&
-          e.dist <= separation) {
-        blocked = true;
-        break;
-      }
-    }
-    if (!blocked) {
-      kept_scratch[static_cast<size_t>(p)] = 1;
-      seeds.push_back(p);
-    }
-  }
-  return seeds;
+// Upper bound on scales fused into one wave (also the channel budget the
+// scheduler allocates per wave). 16 keeps per-wave state bounded while
+// grouping the entire saturated tail of the scale ladder into few waves.
+constexpr size_t kMaxWaveScales = 16;
+
+// Everything one scale contributes before its wave's exploration runs: the
+// net (already built) and the diagnostics gathered so far.
+struct PendingScale {
+  int scale_index = 0;
+  Weight scale = 0.0;
+  std::vector<VertexId> net;
+  ScaleDiagnostics diag;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
 }  // namespace
@@ -94,18 +86,198 @@ DoublingSpannerResult build_doubling_spanner(
     hop_diameter = g.hop_diameter();
   }
 
+  // Concurrent scales fuse consecutive explorations into shared scheduler
+  // waves over channel-tagged messages; the sequential path runs one
+  // exploration per scale (reference mode, and the only encoding the legacy
+  // unbatched messages support). Spanners are bit-identical either way: the
+  // wave tables slice back into exactly the per-scale tables (see
+  // bounded_multisource.h) and dedupe_edge_ids canonicalizes edge order.
+  const bool concurrent =
+      !ctx.sched.sequential_scales && !ctx.sched.legacy_unbatched;
+
   std::vector<EdgeId> spanner;
   std::vector<VertexId> prev_net;
-  BoundedMultiSourceResult prev_explore;
-  Weight prev_explore_radius = 0.0;
   std::vector<char> kept_scratch(static_cast<size_t>(n), 0);
   std::vector<std::uint32_t> stamp(static_cast<size_t>(n), 0);
   std::vector<std::uint32_t> source_idx(static_cast<size_t>(n), 0);
   std::vector<std::uint32_t> pair_count, pair_fill;
   std::vector<VertexId> pair_targets;
+  std::vector<std::uint32_t> scale_mask(static_cast<size_t>(n), 0);
+  std::vector<VertexId> union_net;
   std::uint32_t epoch = 0;
+
+  // Sequential-mode exploration chain (also the warm-start state threaded
+  // between waves lives further below).
+  BoundedMultiSourceResult prev_explore;
+  Weight prev_explore_radius = 0.0;
+
+  // Concurrent-mode state. The seed-filter chain is a SHORT incremental
+  // exploration of each net at the NEXT scale's seed spacing — ~13× smaller
+  // radius than the 2Δ exploration, but by the slicing argument
+  // (thin_net_seeds) it reproduces the sequential filter decisions exactly.
+  // Decoupling the filter from the 2Δ tables is what lets a whole wave of
+  // nets be built before the wave's fused exploration runs.
+  BoundedMultiSourceResult seed_chain;
+  Weight seed_chain_radius = 0.0;
+  WaveExploreState wave_state;
+  std::vector<PendingScale> wave;
+  size_t wave_net_sum = 0;
+  int wave_index = 0;
+
+  // Hopset-mode wave scratch (per-source owner radii for the union run).
+  std::vector<Weight> radius_by_source;
+  std::vector<VertexId> union_sources;
+
+  // Runs the fused exploration for the accumulated scales, then extracts
+  // each scale's pairs from the sliced tables and connects them.
+  const auto flush_wave = [&]() {
+    if (wave.empty()) return;
+    const std::string wave_tag = "wave-" + std::to_string(wave_index);
+
+    // --- fused exploration ---------------------------------------------
+    const Clock::time_point explore_start = Clock::now();
+    BoundedMultiSourceResult hopset_union;
+    WaveExploreResult wexp;
+    if (params.use_hopset) {
+      // Union run: every source bounded by the radius of the LAST scale
+      // where it is active, mirroring the scheduler-kernel wave.
+      radius_by_source.assign(static_cast<size_t>(n), -1.0);
+      union_sources.clear();
+      for (const PendingScale& p : wave)
+        for (VertexId s : p.net) {
+          if (radius_by_source[static_cast<size_t>(s)] < 0)
+            union_sources.push_back(s);
+          radius_by_source[static_cast<size_t>(s)] = 2.0 * p.scale;
+        }
+      std::sort(union_sources.begin(), union_sources.end());
+      hopset_union = bounded_multi_source_paths_hopset_wave(
+          explore_substrate.rounded, hopset, union_sources, radius_by_source,
+          hop_diameter);
+      result.ledger.add(wave_tag + "-explore", hopset_union.cost);
+    } else {
+      std::vector<WaveScale> scales;
+      scales.reserve(wave.size());
+      for (const PendingScale& p : wave)
+        scales.push_back({p.net, 2.0 * p.scale});
+      wexp = bounded_multi_source_paths_wave(explore_substrate, scales,
+                                             std::move(wave_state), ctx.sched);
+      wave_state = std::move(wexp.state);
+      result.ledger.add(wave_tag + "-explore", wexp.cost);
+    }
+
+    wave[0].diag.explore_wall_ms = ms_since(explore_start);
+
+    // Wave-union packing certificate: the union of the wave's records at a
+    // vertex (reported per scale so the registry shows the wave grouping).
+    size_t max_sources = 0;
+    if (params.use_hopset) {
+      max_sources = hopset_union.max_sources_per_vertex;
+    } else {
+      for (VertexId v = 0; v < n; ++v) {
+        size_t total = 0;
+        for (const auto& chan : wave_state.table)
+          total += chan[static_cast<size_t>(v)].size();
+        max_sources = std::max(max_sources, total);
+      }
+    }
+
+    // --- per-wave pair extraction --------------------------------------
+    // A pair within reach at several of the wave's scales yields the SAME
+    // canonical path at each of them (the smaller scales' tables are
+    // slices of the owner channel's), so each distinct pair is enumerated
+    // and walked ONCE per wave; pairs_connected still counts every
+    // qualifying (pair, scale) combination, matching the sequential
+    // per-scale accounting bit for bit.
+    const Clock::time_point pairs_start = Clock::now();
+    const size_t K = wave.size();
+    for (size_t w = 0; w < K; ++w) {
+      PendingScale& p = wave[w];
+      p.diag.max_sources_per_vertex = max_sources;
+      if (w == 0 && !params.use_hopset) {
+        p.diag.explore_records_inherited = wexp.records_inherited;
+        p.diag.explore_shell_announcements = wexp.shell_announcements;
+      }
+    }
+    // scale_mask[v]: bit w set iff v is in wave[w]'s net.
+    for (size_t w = 0; w < K; ++w)
+      for (VertexId v : wave[w].net)
+        scale_mask[static_cast<size_t>(v)] |= std::uint32_t{1} << w;
+    union_net.clear();
+    for (VertexId v = 0; v < n; ++v)
+      if (scale_mask[static_cast<size_t>(v)] != 0) {
+        source_idx[static_cast<size_t>(v)] =
+            static_cast<std::uint32_t>(union_net.size());
+        union_net.push_back(v);
+      }
+    const size_t union_size = union_net.size();
+    // visit(s, t, m) runs once per distinct pair; m has a bit per wave
+    // scale whose net contains both endpoints within its 2Δ bound (the
+    // bounds ascend with the channel index, so qualifying scales are a
+    // suffix of the membership mask).
+    const auto each_pair = [&](const auto& visit) {
+      for (VertexId t : union_net) {
+        const std::uint32_t mt = scale_mask[static_cast<size_t>(t)];
+        const auto scan = [&](const std::vector<BoundedSourceEntry>& tbl) {
+          for (const BoundedSourceEntry& e : tbl) {
+            if (e.source >= t) break;  // entries ascend by source
+            std::uint32_t m = scale_mask[static_cast<size_t>(e.source)] & mt;
+            if (m == 0) continue;
+            size_t c = 0;
+            while (c < K && 2.0 * wave[c].scale < e.dist) ++c;
+            if (c >= K) continue;
+            m = (m >> c) << c;
+            if (m == 0) continue;
+            visit(e.source, t, m);
+          }
+        };
+        if (params.use_hopset) {
+          scan(hopset_union.table[static_cast<size_t>(t)]);
+        } else {
+          for (const auto& chan : wave_state.table)
+            scan(chan[static_cast<size_t>(t)]);
+        }
+      }
+    };
+    pair_count.assign(union_size + 1, 0);
+    each_pair([&](VertexId s, VertexId, std::uint32_t m) {
+      ++pair_count[source_idx[static_cast<size_t>(s)] + 1];
+      do {
+        ++wave[static_cast<size_t>(std::countr_zero(m))].diag.pairs_connected;
+        m &= m - 1;
+      } while (m != 0);
+    });
+    for (size_t i = 1; i <= union_size; ++i) pair_count[i] += pair_count[i - 1];
+    pair_targets.resize(pair_count[union_size]);
+    pair_fill.assign(pair_count.begin(), pair_count.end() - 1);
+    each_pair([&](VertexId s, VertexId t, std::uint32_t) {
+      pair_targets[pair_fill[source_idx[static_cast<size_t>(s)]]++] = t;
+    });
+    for (size_t i = 0; i < union_size; ++i) {
+      ++epoch;
+      const VertexId s = union_net[i];
+      for (size_t j = pair_count[i]; j < pair_count[i + 1]; ++j) {
+        const bool found =
+            params.use_hopset
+                ? collect_path_edges(hopset_union, &hopset, pair_targets[j],
+                                     s, stamp, epoch, spanner)
+                : collect_path_edges_in(
+                      wave_state.table[wexp.channel_of[
+                          static_cast<size_t>(s)]],
+                      nullptr, pair_targets[j], s, stamp, epoch, spanner);
+        LN_ASSERT_MSG(found, "discovered pair has no extractable path");
+      }
+    }
+    for (VertexId v : union_net) scale_mask[static_cast<size_t>(v)] = 0;
+    wave[0].diag.pairs_wall_ms = ms_since(pairs_start);
+    for (PendingScale& p : wave) result.scales.push_back(p.diag);
+    wave.clear();
+    wave_net_sum = 0;
+    ++wave_index;
+  };
+
   int scale_index = 0;
-  for (Weight scale = min_w; scale <= 2.0 * mst_w;
+  bool stop = false;
+  for (Weight scale = min_w; scale <= 2.0 * mst_w && !stop;
        scale *= (1.0 + eps), ++scale_index) {
     ScaleDiagnostics diag;
     diag.scale = scale;
@@ -124,11 +296,13 @@ DoublingSpannerResult build_doubling_spanner(
     // set fails to cover is picked up by the iterations. ε·Δ/2 > 2ε·Δ/9
     // keeps every separation certificate intact.
     const double seed_spacing = (1.0 + kNetDelta) * net_params.radius;
+    const Clock::time_point net_start = Clock::now();
     const std::vector<VertexId> seeds =
         prev_net.empty()
             ? std::vector<VertexId>{}
-            : filter_seeds(prev_net, prev_explore, seed_spacing,
-                           kept_scratch);
+            : thin_net_seeds(prev_net,
+                             concurrent ? seed_chain.table : prev_explore.table,
+                             seed_spacing, kept_scratch);
     const NetResult net = build_net(
         g, net_params,
         ctx.child(0x5343414cULL + static_cast<std::uint64_t>(scale_index)),
@@ -139,6 +313,7 @@ DoublingSpannerResult build_doubling_spanner(
     diag.net_iterations = net.iterations;
     diag.net_seed_points = net.seed_points;
     diag.net_active_after_seeding = net.active_after_seeding;
+    diag.net_wall_ms = ms_since(net_start);
 
     // Claim 7 certificate: an r-separated set has ≤ ⌈2L/r⌉ points.
     LN_ASSERT_MSG(
@@ -146,11 +321,53 @@ DoublingSpannerResult build_doubling_spanner(
             std::ceil(2.0 * mst_w / separation) + 1.0,
         "Claim 7 violated: net too large for its separation");
 
+    if (net.net.size() <= 1 && scale > mst_w) stop = true;  // single point
+
+    if (concurrent) {
+      // Extend the seed-filter chain to the NEXT scale's spacing before the
+      // 2Δ exploration is even scheduled (the chain is what decouples net
+      // construction from the fused waves).
+      if (!stop) {
+        const Clock::time_point chain_start = Clock::now();
+        const double next_spacing = seed_spacing * (1.0 + eps);
+        if (params.use_hopset) {
+          seed_chain = bounded_multi_source_paths_hopset_on(
+              explore_substrate.rounded, hopset, net.net, next_spacing,
+              hop_diameter);
+        } else {
+          seed_chain = bounded_multi_source_paths_incremental(
+              explore_substrate, net.net, next_spacing, seed_chain_radius,
+              std::move(seed_chain), ctx.sched);
+          seed_chain_radius = next_spacing;
+        }
+        result.ledger.add(
+            "scale-" + std::to_string(scale_index) + "-seedchain",
+            seed_chain.cost);
+        diag.seedchain_wall_ms = ms_since(chain_start);
+      }
+      PendingScale pending;
+      pending.scale_index = scale_index;
+      pending.scale = scale;
+      pending.net = net.net;
+      pending.diag = diag;
+      wave_net_sum += net.net.size();
+      wave.push_back(std::move(pending));
+      // Close the wave once it holds enough sources to saturate the
+      // network (or the channel budget): big-net early scales flush in
+      // small groups, the sparse tail rides in wide ones.
+      if (stop || wave.size() >= kMaxWaveScales || wave_net_sum >= size_t(n))
+        flush_wave();
+      prev_net = net.net;
+      continue;
+    }
+
+    // --- sequential (reference) path ------------------------------------
     // 2Δ-bounded multi-source (1+ε̂)-approximate explorations, warm-started
     // from the previous scale's tables: surviving interior records are
     // already at their fixed point, so only the boundary shell re-announces
     // and new net points run fresh explorations. Tables are bit-identical
     // to a cold run at this radius (see bounded_multisource.h).
+    const Clock::time_point explore_start = Clock::now();
     BoundedMultiSourceResult explore =
         params.use_hopset
             ? bounded_multi_source_paths_hopset_on(explore_substrate.rounded,
@@ -159,6 +376,7 @@ DoublingSpannerResult build_doubling_spanner(
             : bounded_multi_source_paths_incremental(
                   explore_substrate, net.net, 2.0 * scale,
                   prev_explore_radius, std::move(prev_explore), ctx.sched);
+    diag.explore_wall_ms = ms_since(explore_start);
     result.ledger.add("scale-" + std::to_string(scale_index) + "-explore",
                       explore.cost);
     diag.max_sources_per_vertex = explore.max_sources_per_vertex;
@@ -168,16 +386,14 @@ DoublingSpannerResult build_doubling_spanner(
     // Connect every net pair discovered within the bound via its reported
     // path. The discovered pairs with target t are exactly the entries of
     // t's source table (sources ARE the net points), so scanning each net
-    // target's table visits every pair once — no O(net²) pair probing. All
-    // extractions for one source share one memoization epoch: path prefixes
-    // near the source are walked once per scale.
-    // Pass 1 enumerates the discovered pairs straight off the tables (the
-    // pairs with target t are exactly the entries of t's source table —
-    // sources ARE the net points), grouped by source via counting sort.
-    // Pass 2 then walks all of one source's targets consecutively under one
-    // memoization epoch: consecutive walks are what makes the shared stamp
-    // array effective (interleaving sources would overwrite each other's
-    // stamps and re-walk shared prefixes).
+    // target's table visits every pair once — no O(net²) pair probing.
+    // Pass 1 enumerates the discovered pairs straight off the tables,
+    // grouped by source via counting sort. Pass 2 then walks all of one
+    // source's targets consecutively under one memoization epoch:
+    // consecutive walks are what makes the shared stamp array effective
+    // (interleaving sources would overwrite each other's stamps and re-walk
+    // shared prefixes).
+    const Clock::time_point pairs_start = Clock::now();
     const size_t net_size = net.net.size();
     for (size_t i = 0; i < net_size; ++i)
       source_idx[static_cast<size_t>(net.net[i])] =
@@ -210,12 +426,13 @@ DoublingSpannerResult build_doubling_spanner(
         ++diag.pairs_connected;
       }
     }
+    diag.pairs_wall_ms = ms_since(pairs_start);
     result.scales.push_back(diag);
-    if (net.net.size() <= 1 && scale > mst_w) break;  // single point covers
     prev_net = net.net;
     prev_explore = std::move(explore);
     prev_explore_radius = 2.0 * scale;
   }
+  if (concurrent) flush_wave();  // scales left when the ladder ran out
 
   result.spanner = dedupe_edge_ids(std::move(spanner));
   api::deposit(ctx, result.ledger, "doubling-spanner");

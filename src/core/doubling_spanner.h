@@ -57,6 +57,14 @@ struct ScaleDiagnostics {
   // point, and how few re-announced (the boundary shell).
   size_t explore_records_inherited = 0;
   size_t explore_shell_announcements = 0;
+  // Wall-clock phase breakdown (bench_doubling emits these; they are
+  // machine-dependent and excluded from regression comparisons). In
+  // concurrent mode the fused wave exploration is attributed to the FIRST
+  // scale of its wave; later scales of the wave report 0.
+  double net_wall_ms = 0.0;
+  double seedchain_wall_ms = 0.0;  // concurrent mode only
+  double explore_wall_ms = 0.0;
+  double pairs_wall_ms = 0.0;
 };
 
 struct DoublingSpannerResult {

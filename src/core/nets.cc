@@ -154,4 +154,28 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params,
   return result;
 }
 
+std::vector<VertexId> thin_net_seeds(
+    std::span<const VertexId> prev_net,
+    const std::vector<std::vector<BoundedSourceEntry>>& table,
+    Weight separation, std::vector<char>& kept_scratch) {
+  std::vector<VertexId> seeds;
+  seeds.reserve(prev_net.size());
+  std::fill(kept_scratch.begin(), kept_scratch.end(), 0);
+  for (VertexId p : prev_net) {
+    bool blocked = false;
+    for (const BoundedSourceEntry& e : table[static_cast<size_t>(p)]) {
+      if (e.source != p && kept_scratch[static_cast<size_t>(e.source)] &&
+          e.dist <= separation) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      kept_scratch[static_cast<size_t>(p)] = 1;
+      seeds.push_back(p);
+    }
+  }
+  return seeds;
+}
+
 }  // namespace lightnet

@@ -28,6 +28,7 @@
 #include "congest/stats.h"
 #include "graph/graph.h"
 #include "routines/approx_spt.h"
+#include "routines/bounded_multisource.h"
 
 namespace lightnet {
 
@@ -64,5 +65,19 @@ NetResult build_net(const WeightedGraph& g, const NetParams& params,
 
 // Back-compat wrapper: RunContext built from params.seed.
 NetResult build_net(const WeightedGraph& g, const NetParams& params);
+
+// Thins a finer net down to `separation` for use as the next scale's seeds:
+// a point is kept iff no already-kept point sits within `separation` of it
+// (greedy sweep in net order). `table` is any bounded exploration of
+// `prev_net` whose radius is at least `separation` — the sweep only reads
+// pairs at distance ≤ separation, so a full 2Δ exploration and the
+// concurrent pipeline's short seed-filter chain yield identical seed sets
+// (bounded tables are slices of one canonical fixed point). Pairs absent
+// from the table are beyond the table's radius ≥ separation, so the table
+// is a complete witness. `kept_scratch` is an n-sized scratch vector.
+std::vector<VertexId> thin_net_seeds(
+    std::span<const VertexId> prev_net,
+    const std::vector<std::vector<BoundedSourceEntry>>& table,
+    Weight separation, std::vector<char>& kept_scratch);
 
 }  // namespace lightnet

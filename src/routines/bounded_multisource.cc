@@ -30,10 +30,14 @@ SourceTable::iterator table_find(SourceTable& table, VertexId source) {
 
 // Relaxation over a G-edge with canonical parent records: strict distance
 // improvements replace the record (and report true so the caller can queue
-// a re-announcement), equal-distance offers only canonicalize the parent
-// toward the smallest (parent, edge) pair. The final table is therefore the
-// pointwise minimum over all offers — independent of arrival order, hence
-// bit-identical across the batched/legacy encodings and scheduler modes.
+// a re-announcement), equal-distance offers only canonicalize the parent.
+// The canonical order is total: a G-edge parent always beats a hopset
+// parent at equal distance, and among G-edge parents the smallest
+// (parent, edge) pair wins (hopset records canonicalize among themselves in
+// the Bellman-Ford loop below). The final table is therefore the pointwise
+// minimum over all offers — independent of arrival order, hence
+// bit-identical across the batched/legacy encodings, scheduler modes, and
+// the per-scale/wave-fused groupings of the doubling pipeline.
 // `hint` is a table index the search starts from (and is advanced to the
 // record's position): callers relaxing a source-ascending batch pass one
 // cursor across the whole batch, shrinking each lookup's range.
@@ -60,13 +64,83 @@ bool relax_edge(SourceTable& table, size_t& hint, VertexId source,
     it->hopset_forward = true;
     return true;
   }
-  if (cand == it->dist && it->hopset_edge < 0 &&
-      (from < it->parent ||
+  if (cand == it->dist &&
+      (it->hopset_edge >= 0 || from < it->parent ||
        (from == it->parent && edge < it->parent_edge))) {
     it->parent = from;
     it->parent_edge = edge;
+    it->hopset_edge = -1;
+    it->hopset_forward = true;
   }
   return false;
+}
+
+// Processes one delivered batch (source-ascending offers over one G-edge)
+// against `table`: offers for existing records relax in place, offers for
+// brand-new sources are deferred into `fresh` and folded in with ONE
+// backwards merge after the batch — O(table + batch) instead of one
+// O(table) memmove per insertion, which is what dominated wall clock when
+// saturated scales insert hundreds of records per vertex. Deferring is
+// sound because sources within one batch are distinct: no later offer in
+// the same batch can target a deferred record. Calls `improved(source)`
+// for every record whose distance changed (insert or strict improvement).
+template <typename Improved>
+void relax_batch(SourceTable& table, std::span<const std::uint64_t> words,
+                 Weight w, Weight radius, VertexId from, EdgeId edge,
+                 SourceTable& fresh, const Improved& improved) {
+  fresh.clear();
+  size_t hint = 0;
+  for (size_t i = 0; i + 1 < words.size(); i += 2) {
+    const VertexId source = static_cast<VertexId>(words[i]);
+    const Weight cand = Message::decode_weight(words[i + 1]) + w;
+    if (cand > radius) continue;
+    auto it = std::lower_bound(
+        table.begin() + static_cast<std::ptrdiff_t>(hint), table.end(),
+        source,
+        [](const BoundedSourceEntry& e, VertexId s) { return e.source < s; });
+    hint = static_cast<size_t>(it - table.begin());
+    if (it == table.end() || it->source != source) {
+      BoundedSourceEntry e;
+      e.source = source;
+      e.dist = cand;
+      e.parent = from;
+      e.parent_edge = edge;
+      fresh.push_back(e);
+      improved(source);
+      continue;
+    }
+    if (cand < it->dist) {
+      it->dist = cand;
+      it->parent = from;
+      it->parent_edge = edge;
+      it->hopset_edge = -1;
+      it->hopset_forward = true;
+      improved(source);
+    } else if (cand == it->dist &&
+               (it->hopset_edge >= 0 || from < it->parent ||
+                (from == it->parent && edge < it->parent_edge))) {
+      it->parent = from;
+      it->parent_edge = edge;
+      it->hopset_edge = -1;
+      it->hopset_forward = true;
+    }
+  }
+  if (fresh.empty()) return;
+  // Backwards two-pointer merge: `fresh` ascends and is disjoint from the
+  // table's sources, so every element moves exactly once.
+  const size_t old_size = table.size();
+  table.resize(old_size + fresh.size());
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(old_size) - 1;
+  std::ptrdiff_t j = static_cast<std::ptrdiff_t>(fresh.size()) - 1;
+  std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(table.size()) - 1;
+  while (j >= 0) {
+    if (i >= 0 && table[static_cast<size_t>(i)].source >
+                      fresh[static_cast<size_t>(j)].source) {
+      table[static_cast<size_t>(pos--)] = table[static_cast<size_t>(i--)];
+    } else {
+      table[static_cast<size_t>(pos--)] = fresh[static_cast<size_t>(j--)];
+    }
+  }
 }
 
 class BoundedProgram final : public NodeProgram {
@@ -90,22 +164,18 @@ class BoundedProgram final : public NodeProgram {
     for (const Delivery& d : inbox) {
       LN_ASSERT(d.msg.tag == kTagBounded || d.msg.tag == kTagBoundedBatch);
       const Weight w = ctx.network().graph().edge(d.edge).w;
-      const std::span<const std::uint64_t> words = ctx.payload(d.msg);
       // Offers in one batch ascend by source id (announcers pack their
       // sorted pending list), so each delivery is a sorted merge against
-      // the sorted table: the search range only shrinks as `hint` advances.
-      size_t hint = 0;
-      for (size_t i = 0; i + 1 < words.size(); i += 2) {
-        const VertexId source = static_cast<VertexId>(words[i]);
-        const Weight cand = Message::decode_weight(words[i + 1]) + w;
-        if (cand > radius_) continue;
-        if (relax_edge(table, hint, source, cand, d.from, d.edge))
-          mark_pending(source);
-      }
+      // the sorted table.
+      relax_batch(table, ctx.payload(d.msg), w, radius_, d.from, d.edge,
+                  fresh_buf_, [this](VertexId s) { mark_pending(s); });
     }
     if (pending_.empty()) return;
     const int degree = static_cast<int>(ctx.links().size());
     if (batched_) {
+      std::sort(pending_.begin(), pending_.end());
+      pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                     pending_.end());
       // Announce every improved source at once, one multi-word flood whose
       // payload all deg(v) messages share. A record whose dist + min
       // incident weight exceeds the radius cannot improve any neighbor
@@ -147,6 +217,13 @@ class BoundedProgram final : public NodeProgram {
 
  private:
   void mark_pending(VertexId source) {
+    // Batched announcements sort + dedupe the list right before packing, so
+    // marks are plain appends; legacy mode pops the smallest id per round
+    // and needs the sorted-unique invariant maintained eagerly.
+    if (batched_) {
+      pending_.push_back(source);
+      return;
+    }
     auto it = std::lower_bound(pending_.begin(), pending_.end(), source);
     if (it == pending_.end() || *it != source) pending_.insert(it, source);
   }
@@ -157,9 +234,167 @@ class BoundedProgram final : public NodeProgram {
   bool batched_;
   bool reliable_;
   std::vector<SourceTable>& state_;
-  std::vector<VertexId> pending_;  // sorted source ids awaiting announcement
+  std::vector<VertexId> pending_;  // source ids awaiting announcement
   std::vector<std::uint64_t> words_buf_;
+  SourceTable fresh_buf_;  // relax_batch deferred-insert scratch
 };
+
+// Concurrent-scale (wave) program: channel c's records live in their own
+// per-vertex table and travel as channel-tagged batched floods, so several
+// scales' explorations share one scheduler execution without mixing state.
+// Round 0 re-announces only the per-link filtered shell (see the wave API
+// comment in the header); later rounds announce each channel's improved
+// records exactly like BoundedProgram does for its single flow.
+class WaveProgram final : public NodeProgram {
+ public:
+  WaveProgram(VertexId self, const std::vector<Weight>& channel_radius,
+              const std::vector<Weight>& explored_radius,
+              std::vector<std::vector<SourceTable>>& state)
+      : self_(self),
+        channel_radius_(channel_radius),
+        explored_radius_(explored_radius),
+        state_(state),
+        pending_(channel_radius.size()) {}
+
+  void on_round(NodeContext& ctx, std::span<const Delivery> inbox) override {
+    for (const Delivery& d : inbox) {
+      LN_ASSERT(d.msg.tag == kTagBoundedBatch);
+      const std::uint8_t ch = d.msg.channel;
+      SourceTable& table = state_[ch][static_cast<size_t>(self_)];
+      std::vector<VertexId>& pending = pending_[ch];
+      const Weight w = ctx.network().graph().edge(d.edge).w;
+      relax_batch(table, ctx.payload(d.msg), w, channel_radius_[ch], d.from,
+                  d.edge, fresh_buf_,
+                  [&pending](VertexId s) { pending.push_back(s); });
+    }
+    if (ctx.round() == 0) {
+      announce_shell(ctx);
+      return;
+    }
+    const auto links = ctx.links();
+    const WeightedGraph& g = ctx.network().graph();
+    for (size_t ch = 0; ch < pending_.size(); ++ch) {
+      std::vector<VertexId>& pending = pending_[ch];
+      if (pending.empty()) continue;
+      std::sort(pending.begin(), pending.end());
+      pending.erase(std::unique(pending.begin(), pending.end()),
+                    pending.end());
+      const SourceTable& table = state_[ch][static_cast<size_t>(self_)];
+      const Weight radius = channel_radius_[ch];
+      // Resolve the improved records' current distances once, then pack a
+      // per-link payload keeping only offers with dist + w(ℓ) ≤ radius:
+      // strictly stronger than the min-incident prune, and the receiver
+      // never sees an offer it would reject on the radius check.
+      ann_buf_.clear();
+      size_t hint = 0;
+      for (VertexId s : pending) {
+        const auto it = std::lower_bound(
+            table.begin() + static_cast<std::ptrdiff_t>(hint), table.end(), s,
+            [](const BoundedSourceEntry& e, VertexId src) {
+              return e.source < src;
+            });
+        hint = static_cast<size_t>(it - table.begin());
+        ann_buf_.push_back({s, it->dist, Message::encode_weight(it->dist)});
+      }
+      pending.clear();
+      for (size_t li = 0; li < links.size(); ++li) {
+        const Weight w = g.edge(links[li].edge).w;
+        words_buf_.clear();
+        words_buf_.reserve(ann_buf_.size() * 2);
+        for (const Announce& a : ann_buf_) {
+          if (a.dist + w > radius) continue;
+          words_buf_.push_back(static_cast<std::uint64_t>(a.source));
+          words_buf_.push_back(a.encoded);
+        }
+        if (!words_buf_.empty())
+          ctx.send_words_on_link(static_cast<int>(li), kTagBoundedBatch,
+                                 words_buf_, static_cast<std::uint8_t>(ch));
+      }
+    }
+  }
+
+  bool quiescent() const override {
+    for (const std::vector<VertexId>& p : pending_)
+      if (!p.empty()) return false;
+    return true;
+  }
+
+  size_t shell_offers() const { return shell_offers_; }
+
+ private:
+  struct Announce {
+    VertexId source;
+    Weight dist;
+    std::uint64_t encoded;  // Message::encode_weight(dist), hoisted per round
+  };
+  struct ShellRec {
+    VertexId source;
+    Weight dist;
+    Weight explored;
+  };
+
+  // Warm-start announcements: a record (s, d) is offered on link ℓ only if
+  // d + w(ℓ) lands in (explored_radius[s], radius of s's channel] — below
+  // the window the offer was already made by the run that produced the
+  // record, above it the receiver would reject it. New sources have
+  // explored_radius < 0, so their zero-distance record floods every link
+  // within the radius, exactly a cold seed. Interior records (the vast
+  // majority on warm starts) are rejected with a single comparison against
+  // the extreme incident weights instead of deg(v) per-link checks.
+  void announce_shell(NodeContext& ctx) {
+    const auto links = ctx.links();
+    if (links.empty()) return;
+    const WeightedGraph& g = ctx.network().graph();
+    Weight wmin = g.edge(links[0].edge).w;
+    Weight wmax = wmin;
+    for (size_t li = 1; li < links.size(); ++li) {
+      const Weight w = g.edge(links[li].edge).w;
+      wmin = std::min(wmin, w);
+      wmax = std::max(wmax, w);
+    }
+    for (size_t ch = 0; ch < channel_radius_.size(); ++ch) {
+      const SourceTable& table = state_[ch][static_cast<size_t>(self_)];
+      if (table.empty()) continue;
+      const Weight radius = channel_radius_[ch];
+      shell_buf_.clear();
+      for (const BoundedSourceEntry& e : table) {
+        const Weight explored = explored_radius_[static_cast<size_t>(e.source)];
+        if (e.dist + wmax <= explored) continue;  // interior on every link
+        if (e.dist + wmin > radius) continue;     // out of range everywhere
+        shell_buf_.push_back({e.source, e.dist, explored});
+      }
+      if (shell_buf_.empty()) continue;
+      for (size_t li = 0; li < links.size(); ++li) {
+        const Weight w = g.edge(links[li].edge).w;
+        words_buf_.clear();
+        for (const ShellRec& r : shell_buf_) {
+          const Weight cand = r.dist + w;
+          if (cand > radius || cand <= r.explored) continue;
+          words_buf_.push_back(static_cast<std::uint64_t>(r.source));
+          words_buf_.push_back(Message::encode_weight(r.dist));
+        }
+        if (!words_buf_.empty()) {
+          shell_offers_ += words_buf_.size() / 2;
+          ctx.send_words_on_link(static_cast<int>(li), kTagBoundedBatch,
+                                 words_buf_, static_cast<std::uint8_t>(ch));
+        }
+      }
+    }
+  }
+
+  VertexId self_;
+  const std::vector<Weight>& channel_radius_;
+  const std::vector<Weight>& explored_radius_;
+  std::vector<std::vector<SourceTable>>& state_;
+  std::vector<std::vector<VertexId>> pending_;  // per channel
+  std::vector<std::uint64_t> words_buf_;
+  std::vector<Announce> ann_buf_;
+  std::vector<ShellRec> shell_buf_;
+  SourceTable fresh_buf_;  // relax_batch deferred-insert scratch
+  size_t shell_offers_ = 0;
+};
+
+constexpr std::uint8_t kNoChannel = 0xff;
 
 void finalize_tables(BoundedMultiSourceResult& result) {
   for (const SourceTable& table : result.table)
@@ -169,14 +404,20 @@ void finalize_tables(BoundedMultiSourceResult& result) {
 
 }  // namespace
 
+const BoundedSourceEntry* find_source_entry_in(
+    const std::vector<std::vector<BoundedSourceEntry>>& table, VertexId v,
+    VertexId source) {
+  const SourceTable& entries = table[static_cast<size_t>(v)];
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), source,
+      [](const BoundedSourceEntry& e, VertexId s) { return e.source < s; });
+  if (it == entries.end() || it->source != source) return nullptr;
+  return &*it;
+}
+
 const BoundedSourceEntry* find_source_entry(
     const BoundedMultiSourceResult& result, VertexId v, VertexId source) {
-  const SourceTable& table = result.table[static_cast<size_t>(v)];
-  const auto it = std::lower_bound(
-      table.begin(), table.end(), source,
-      [](const BoundedSourceEntry& e, VertexId s) { return e.source < s; });
-  if (it == table.end() || it->source != source) return nullptr;
-  return &*it;
+  return find_source_entry_in(result.table, v, source);
 }
 
 BoundedMultiSourceResult bounded_multi_source_paths(
@@ -331,6 +572,133 @@ BoundedMultiSourceResult bounded_multi_source_paths_incremental(
   return result;
 }
 
+WaveExploreResult bounded_multi_source_paths_wave(
+    const RoundedSubstrate& substrate, std::span<const WaveScale> scales,
+    WaveExploreState prev, congest::SchedulerOptions sched) {
+  const WeightedGraph& h = substrate.rounded;
+  const int n = h.num_vertices();
+  const int K = static_cast<int>(scales.size());
+  LN_REQUIRE(K >= 1 && K <= 32, "a wave fuses 1..32 scales");
+  LN_REQUIRE(!sched.legacy_unbatched,
+             "concurrent scales require the batched encoding");
+  for (int c = 1; c < K; ++c)
+    LN_REQUIRE(scales[static_cast<size_t>(c - 1)].radius <=
+                   scales[static_cast<size_t>(c)].radius,
+               "wave scales must ascend in radius");
+
+  WaveExploreResult result;
+  result.channel_of.assign(static_cast<size_t>(n), kNoChannel);
+  std::vector<Weight> channel_radius(static_cast<size_t>(K));
+  for (int c = 0; c < K; ++c) {
+    channel_radius[static_cast<size_t>(c)] =
+        scales[static_cast<size_t>(c)].radius;
+    for (VertexId s : scales[static_cast<size_t>(c)].sources) {
+      LN_REQUIRE(s >= 0 && s < n, "source out of range");
+      // Later scales overwrite: a source is owned by the LAST scale where
+      // it is active and explored once, to that scale's radius.
+      result.channel_of[static_cast<size_t>(s)] = static_cast<std::uint8_t>(c);
+    }
+  }
+
+  WaveExploreState state;
+  state.table.assign(static_cast<size_t>(K),
+                     std::vector<SourceTable>(static_cast<size_t>(n)));
+  state.explored_radius = std::move(prev.explored_radius);
+  state.explored_radius.resize(static_cast<size_t>(n), Weight{-1.0});
+
+  // Route the previous wave's surviving records into the new channel
+  // partition; retired sources' records become tombstones (charged below,
+  // like the incremental entry point). A surviving self record is what
+  // classifies its source as warm.
+  std::vector<char> seen_prev(static_cast<size_t>(n), 0);
+  std::uint64_t pruned = 0;
+  if (!prev.table.empty()) {
+    // Each previous channel's table already ascends by source, so the
+    // per-vertex union is a fold of sorted merges, not a re-sort.
+    SourceTable merged;
+    SourceTable filtered;
+    SourceTable tmp;
+    const auto by_source = [](const BoundedSourceEntry& a,
+                              const BoundedSourceEntry& b) {
+      return a.source < b.source;
+    };
+    for (VertexId v = 0; v < n; ++v) {
+      merged.clear();
+      for (std::vector<SourceTable>& chan : prev.table) {
+        SourceTable& t = chan[static_cast<size_t>(v)];
+        filtered.clear();
+        for (const BoundedSourceEntry& e : t) {
+          if (result.channel_of[static_cast<size_t>(e.source)] == kNoChannel) {
+            ++pruned;
+            continue;
+          }
+          filtered.push_back(e);
+        }
+        SourceTable().swap(t);
+        if (filtered.empty()) continue;
+        if (merged.empty()) {
+          merged.swap(filtered);
+          continue;
+        }
+        tmp.clear();
+        std::merge(merged.begin(), merged.end(), filtered.begin(),
+                   filtered.end(), std::back_inserter(tmp), by_source);
+        merged.swap(tmp);
+      }
+      result.records_inherited += merged.size();
+      for (const BoundedSourceEntry& e : merged) {
+        if (e.source == v) seen_prev[static_cast<size_t>(v)] = 1;
+        state.table[result.channel_of[static_cast<size_t>(e.source)]]
+                   [static_cast<size_t>(v)].push_back(e);
+      }
+    }
+  }
+
+  // Cold sources (no surviving records): seed the zero-distance self record
+  // in the owning channel and reset any stale explored radius.
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint8_t ch = result.channel_of[static_cast<size_t>(v)];
+    if (ch == kNoChannel || seen_prev[static_cast<size_t>(v)]) continue;
+    SourceTable& table = state.table[ch][static_cast<size_t>(v)];
+    const auto it = table_find(table, v);
+    BoundedSourceEntry e;
+    e.source = v;
+    e.dist = 0.0;
+    table.insert(it, e);
+    state.explored_radius[static_cast<size_t>(v)] = Weight{-1.0};
+  }
+
+  sched.strict_congest = false;  // batched multi-word encoding
+  sched.channels = K;
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v)
+    programs.push_back(std::make_unique<WaveProgram>(
+        v, channel_radius, state.explored_radius, state.table));
+  congest::Scheduler scheduler(substrate.network, std::move(programs), sched);
+  result.cost = scheduler.run();
+  for (VertexId v = 0; v < n; ++v)
+    result.shell_announcements +=
+        static_cast<WaveProgram&>(scheduler.program(v)).shell_offers();
+
+  // The wave's sources now stand explored to their owning scale's radius.
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint8_t ch = result.channel_of[static_cast<size_t>(v)];
+    if (ch != kNoChannel)
+      state.explored_radius[static_cast<size_t>(v)] =
+          channel_radius[static_cast<size_t>(ch)];
+  }
+
+  if (pruned > 0) {
+    result.cost.rounds += 1;
+    result.cost.messages += pruned;
+    result.cost.words += pruned;
+  }
+  result.pruned_records = pruned;
+  result.state = std::move(state);
+  return result;
+}
+
 BoundedMultiSourceResult bounded_multi_source_paths_hopset(
     const WeightedGraph& g, const Hopset& hopset,
     std::span<const VertexId> sources, Weight radius, double epsilon,
@@ -340,10 +708,21 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset(
                                               hop_diameter);
 }
 
-BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
-    const WeightedGraph& h, const Hopset& hopset,
-    std::span<const VertexId> sources, Weight radius, int hop_diameter) {
+namespace {
+
+// Shared delta-list Bellman-Ford of the hopset entry points. Every source s
+// is bounded by `radius_by_source[s]` when the span is non-empty (the wave
+// union run of the concurrent pipeline), by `radius` otherwise.
+BoundedMultiSourceResult run_hopset_bf(const WeightedGraph& h,
+                                       const Hopset& hopset,
+                                       std::span<const VertexId> sources,
+                                       std::span<const Weight> radius_by_source,
+                                       Weight radius, int hop_diameter) {
   const size_t n = static_cast<size_t>(h.num_vertices());
+  const auto radius_of = [&](VertexId s) {
+    return radius_by_source.empty() ? radius
+                                    : radius_by_source[static_cast<size_t>(s)];
+  };
   BoundedMultiSourceResult result;
   result.table.resize(n);
 
@@ -393,12 +772,13 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
       LN_ASSERT(rec != result.table[static_cast<size_t>(v)].end() &&
                 rec->source == s);
       const Weight dv = rec->dist;
+      const Weight rs = radius_of(s);
       // One synchronous relaxation over v's G-edges (the record's value is
       // broadcast on every incident link).
       for (const Incidence& inc : h.incident(v)) {
         ++edge_offers;
         const Weight cand = dv + h.edge(inc.edge).w;
-        if (cand > radius) continue;
+        if (cand > rs) continue;
         size_t hint = 0;  // random-access pattern: no cursor to carry
         if (relax_edge(result.table[static_cast<size_t>(inc.neighbor)], hint,
                        s, cand, v, inc.edge))
@@ -410,7 +790,7 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
         const HopsetEdge& he = hopset.edges[static_cast<size_t>(hi.edge)];
         const VertexId to = hi.forward ? he.v : he.u;
         const Weight cand = dv + he.length;
-        if (cand > radius) continue;
+        if (cand > rs) continue;
         SourceTable& to_table = result.table[static_cast<size_t>(to)];
         auto target = table_find(to_table, s);
         if (target == to_table.end() || target->source != s) {
@@ -428,6 +808,19 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
           target->hopset_edge = hi.edge;
           target->hopset_forward = hi.forward;
         } else {
+          // Equal-distance canonicalization among hopset parents (a G-edge
+          // parent always outranks us — see relax_edge): smallest
+          // (parent, hopset_edge) wins, making the fixed point independent
+          // of relaxation order. No distance changed, so nothing re-dirties
+          // and no hub update is charged.
+          if (cand == target->dist && target->hopset_edge >= 0 &&
+              (v < target->parent ||
+               (v == target->parent && hi.edge < target->hopset_edge))) {
+            target->parent = v;
+            target->parent_edge = kNoEdge;
+            target->hopset_edge = hi.edge;
+            target->hopset_forward = hi.forward;
+          }
           continue;
         }
         next_dirty.emplace_back(to, s);
@@ -450,6 +843,24 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
   finalize_tables(result);
   result.cost = cost;
   return result;
+}
+
+}  // namespace
+
+BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
+    const WeightedGraph& h, const Hopset& hopset,
+    std::span<const VertexId> sources, Weight radius, int hop_diameter) {
+  return run_hopset_bf(h, hopset, sources, {}, radius, hop_diameter);
+}
+
+BoundedMultiSourceResult bounded_multi_source_paths_hopset_wave(
+    const WeightedGraph& h, const Hopset& hopset,
+    std::span<const VertexId> sources,
+    std::span<const Weight> radius_by_source, int hop_diameter) {
+  LN_REQUIRE(radius_by_source.size() == static_cast<size_t>(h.num_vertices()),
+             "radius_by_source must be indexed by vertex id");
+  return run_hopset_bf(h, hopset, sources, radius_by_source, /*radius=*/0.0,
+                       hop_diameter);
 }
 
 std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
@@ -487,10 +898,11 @@ std::vector<EdgeId> extract_path(const BoundedMultiSourceResult& result,
   return path;
 }
 
-bool collect_path_edges(const BoundedMultiSourceResult& result,
-                        const Hopset* hopset, VertexId target,
-                        VertexId source, std::vector<std::uint32_t>& stamp,
-                        std::uint32_t epoch, std::vector<EdgeId>& out) {
+bool collect_path_edges_in(
+    const std::vector<std::vector<BoundedSourceEntry>>& table,
+    const Hopset* hopset, VertexId target, VertexId source,
+    std::vector<std::uint32_t>& stamp, std::uint32_t epoch,
+    std::vector<EdgeId>& out) {
   VertexId cur = target;
   size_t guard = 0;
   while (cur != source) {
@@ -498,7 +910,7 @@ bool collect_path_edges(const BoundedMultiSourceResult& result,
     // `out` in an earlier extraction this epoch; the union is complete.
     if (stamp[static_cast<size_t>(cur)] == epoch) return true;
     stamp[static_cast<size_t>(cur)] = epoch;
-    const BoundedSourceEntry* e = find_source_entry(result, cur, source);
+    const BoundedSourceEntry* e = find_source_entry_in(table, cur, source);
     if (e == nullptr) return false;
     if (e->hopset_edge >= 0) {
       LN_ASSERT_MSG(hopset != nullptr,
@@ -513,10 +925,18 @@ bool collect_path_edges(const BoundedMultiSourceResult& result,
       out.push_back(e->parent_edge);
       cur = e->parent;
     }
-    LN_ASSERT_MSG(++guard <= result.table.size() * 4,
+    LN_ASSERT_MSG(++guard <= table.size() * 4,
                   "path extraction did not terminate");
   }
   return true;
+}
+
+bool collect_path_edges(const BoundedMultiSourceResult& result,
+                        const Hopset* hopset, VertexId target,
+                        VertexId source, std::vector<std::uint32_t>& stamp,
+                        std::uint32_t epoch, std::vector<EdgeId>& out) {
+  return collect_path_edges_in(result.table, hopset, target, source, stamp,
+                               epoch, out);
 }
 
 }  // namespace lightnet

@@ -106,6 +106,68 @@ BoundedMultiSourceResult bounded_multi_source_paths_incremental(
     Weight radius, Weight prev_radius, BoundedMultiSourceResult prev,
     congest::SchedulerOptions sched = {});
 
+// ---- Concurrent-scale (wave) explorations -------------------------------
+//
+// The doubling pipeline's concurrent mode fuses several consecutive scales'
+// explorations into ONE scheduler execution: scale k of the wave becomes
+// message channel k (congest/message.h), every vertex keeps per-channel
+// source tables, and congestion is accounted per channel. A source active
+// at several of the wave's scales is OWNED by the LAST scale where it is
+// active and explored exactly once, to that scale's radius; a smaller
+// scale's table is the (sources, radius)-slice of the owning channels'
+// tables. Slicing is exact because the tables are canonical fixed points:
+// truncating the fixed point at radius R to entries with dist ≤ r < R
+// yields precisely the fixed point at r, distances by prefix-monotone
+// pruning and parents because canonical parents are radius-independent
+// (every parent chain descends in distance, see relax_edge).
+//
+// Warm starts carry over between waves through WaveExploreState: surviving
+// records stay silent except the boundary shell, and the shell re-offers
+// are filtered PER LINK — a record (v, s, d) re-announces on link ℓ only if
+// d + w(ℓ) lands in (explored_radius[s], radius_of_owner(s)]. Offers below
+// the source's previously explored radius were already made (and
+// canonicalized) by the run that produced the record, offers above the
+// owner's radius would be rejected by the receiver, so both filters
+// preserve bit-identity while eliminating the bulk of the shell broadcast
+// volume that the per-scale incremental pipeline re-pays at every scale.
+
+struct WaveScale {
+  std::span<const VertexId> sources;  // the scale's net, ascending ids
+  Weight radius;                      // the scale's exploration bound
+};
+
+// Exploration state threaded between consecutive waves.
+struct WaveExploreState {
+  // table[c][v]: records of the sources channel c owns, sorted by source.
+  std::vector<std::vector<std::vector<BoundedSourceEntry>>> table;
+  // Per-source explored radius so far, indexed by vertex id (< 0 = never
+  // explored / cold). Stale entries of long-retired sources are never read:
+  // a re-added source has no surviving records, which is what classifies it
+  // as new.
+  std::vector<Weight> explored_radius;
+  bool empty() const { return table.empty(); }
+};
+
+struct WaveExploreResult {
+  WaveExploreState state;
+  // Owning channel per source, indexed by vertex id (meaningful only at
+  // this wave's sources): the channel whose table holds the source's
+  // records for slicing and path extraction.
+  std::vector<std::uint8_t> channel_of;
+  size_t records_inherited = 0;    // records carried over from the prev wave
+  size_t shell_announcements = 0;  // per-link round-0 offers after filtering
+  std::uint64_t pruned_records = 0;  // retired sources' tombstoned records
+  congest::CostStats cost;  // includes the per-channel slices
+};
+
+// Runs one wave. `scales` must be ordered by ascending radius (consecutive
+// pipeline scales); at most 32 per wave. `prev` is the state returned by
+// the previous wave (moved), or an empty state for a cold start. Requires
+// the batched encoding (sched.legacy_unbatched must be false).
+WaveExploreResult bounded_multi_source_paths_wave(
+    const RoundedSubstrate& substrate, std::span<const WaveScale> scales,
+    WaveExploreState prev, congest::SchedulerOptions sched = {});
+
 // Hopset-accelerated implementation: at most `hopset.hop_limit * 3`
 // delta-list Bellman-Ford iterations, hub estimates exchanged globally each
 // iteration (Lemma 1 charge). Produces the same table interface.
@@ -119,10 +181,25 @@ BoundedMultiSourceResult bounded_multi_source_paths_hopset_on(
     const WeightedGraph& h, const Hopset& hopset,
     std::span<const VertexId> sources, Weight radius, int hop_diameter);
 
+// Hopset-accelerated wave: the per-wave union run of the concurrent
+// pipeline's hopset mode. Each source s is bounded by
+// radius_by_source[s] (indexed by vertex id) instead of one shared radius;
+// with the canonical tie-breaking of the hopset relaxations the sliced
+// tables match per-scale runs exactly, mirroring the scheduler-kernel wave.
+BoundedMultiSourceResult bounded_multi_source_paths_hopset_wave(
+    const WeightedGraph& h, const Hopset& hopset,
+    std::span<const VertexId> sources,
+    std::span<const Weight> radius_by_source, int hop_diameter);
+
 // Binary search over table[v] (sorted by source); nullptr if the source's
 // ball does not reach v.
 const BoundedSourceEntry* find_source_entry(
     const BoundedMultiSourceResult& result, VertexId v, VertexId source);
+
+// Raw-table variant for wave-partitioned state (table indexed by vertex).
+const BoundedSourceEntry* find_source_entry_in(
+    const std::vector<std::vector<BoundedSourceEntry>>& table, VertexId v,
+    VertexId source);
 
 // Walks parent records back from `target` to `source`, returning G-edge ids
 // (hopset records expand to their reported paths). Empty if the source's
@@ -141,5 +218,13 @@ bool collect_path_edges(const BoundedMultiSourceResult& result,
                         const Hopset* hopset, VertexId target,
                         VertexId source, std::vector<std::uint32_t>& stamp,
                         std::uint32_t epoch, std::vector<EdgeId>& out);
+
+// Raw-table variant of collect_path_edges: walks within one channel's table
+// of a wave result (all of a source's records live in its owning channel).
+bool collect_path_edges_in(
+    const std::vector<std::vector<BoundedSourceEntry>>& table,
+    const Hopset* hopset, VertexId target, VertexId source,
+    std::vector<std::uint32_t>& stamp, std::uint32_t epoch,
+    std::vector<EdgeId>& out);
 
 }  // namespace lightnet

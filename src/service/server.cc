@@ -117,13 +117,15 @@ std::string LightnetServer::stats_json() const {
   std::size_t substrate_builds = 0;
   std::size_t substrate_shares = 0;
   std::size_t substrate_entries = 0;
+  std::size_t substrate_resident = 0;
   std::size_t scenario_resident = 0;
   scenarios_.for_each(
       [&](const std::string&, const std::shared_ptr<ScenarioEntry>& e) {
         substrate_builds += e->pool.builds();
         substrate_shares += e->pool.shares();
         substrate_entries += e->pool.entries();
-        scenario_resident += graph_bytes(e->graph) + e->pool.resident_bytes();
+        substrate_resident += e->pool.resident_bytes();
+        scenario_resident += graph_bytes(e->graph);
       });
   std::string out = "{";
   out += "\"requests\":" + std::to_string(requests_);
@@ -149,10 +151,14 @@ std::string LightnetServer::stats_json() const {
   out += ",\"resident_bytes\":" + std::to_string(scenario_resident);
   out += ",\"max_entries\":" + std::to_string(scenarios_.max_entries());
   out += "}";
+  // Substrate memory is reported here, not under "scenario": the two blocks
+  // partition the resident bytes (graphs vs. pooled substrates), so their
+  // sum is the service's total cached footprint with no double count.
   out += ",\"substrate\":{";
   out += "\"builds\":" + std::to_string(substrate_builds);
   out += ",\"shares\":" + std::to_string(substrate_shares);
   out += ",\"entries\":" + std::to_string(substrate_entries);
+  out += ",\"resident_bytes\":" + std::to_string(substrate_resident);
   out += "}";
   out += ",\"scheduler\":{\"arena_adoptions\":" +
          std::to_string(scratch_.adoptions) + "}";

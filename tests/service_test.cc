@@ -242,6 +242,34 @@ TEST(ServiceServer, ScenarioAndSubstratesSharedAcrossConstructions) {
   EXPECT_EQ(stat(stats, "artifact", "misses"), 2u);
 }
 
+TEST(ServiceServer, SubstrateCountersPartitionResidentBytes) {
+  LightnetServer server;
+  // Before any run, every substrate counter reads zero.
+  const std::string idle = server.stats_json();
+  EXPECT_EQ(stat(idle, "substrate", "builds"), 0u);
+  EXPECT_EQ(stat(idle, "substrate", "resident_bytes"), 0u);
+  // One substrate-using construction: exactly as many builds as distinct
+  // rounding scales, no shares yet, and a nonzero substrate footprint that
+  // is reported under "substrate", not folded into the scenario graphs.
+  server.handle_line(run_line("construction=net topology=er n=64 seed=1 "
+                              "quality=0"));
+  const std::string cold = server.stats_json();
+  EXPECT_GE(stat(cold, "substrate", "builds"), 1u);
+  EXPECT_EQ(stat(cold, "substrate", "shares"), 0u);
+  EXPECT_GT(stat(cold, "substrate", "resident_bytes"), 0u);
+  EXPECT_GT(stat(cold, "scenario", "resident_bytes"), 0u);
+  // A second construction on the same scenario shares the pooled substrate:
+  // shares move, builds and resident bytes do not.
+  server.handle_line(run_line(
+      "construction=mst_weight_estimate topology=er n=64 seed=1 quality=0"));
+  const std::string warm = server.stats_json();
+  EXPECT_EQ(stat(warm, "substrate", "builds"),
+            stat(cold, "substrate", "builds"));
+  EXPECT_GE(stat(warm, "substrate", "shares"), 1u);
+  EXPECT_EQ(stat(warm, "substrate", "resident_bytes"),
+            stat(cold, "substrate", "resident_bytes"));
+}
+
 TEST(ServiceServer, InertLawSharesOneCacheEntry) {
   LightnetServer server;
   // grid ignores WeightLaw, so law=heavy_tail canonicalizes to the same

@@ -1,0 +1,194 @@
+// Concurrent-scale (wave) explorations: several scales' bounded floods fused
+// into one scheduler execution over channel-tagged messages must be sliceable
+// back into exactly the per-scale tables — each scale's table is the
+// (sources, radius)-slice of the owning channels' records, bit-identical to
+// a standalone run at that scale. Also covers warm starts across waves
+// (per-link filtered shells, retired-source tombstones) and the hopset-union
+// variant with per-source radii.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.h"
+#include "routines/approx_spt.h"
+#include "routines/bounded_multisource.h"
+#include "routines/hopset.h"
+#include "tests/test_util.h"
+
+namespace lightnet {
+namespace {
+
+// Slice the wave state back into one scale's standalone table layout.
+std::vector<std::vector<BoundedSourceEntry>> slice_scale(
+    const WaveExploreState& state, const std::vector<std::uint8_t>& channel_of,
+    std::span<const VertexId> sources, Weight radius, int n) {
+  std::vector<char> active(static_cast<size_t>(n), 0);
+  for (VertexId s : sources) active[static_cast<size_t>(s)] = 1;
+  std::vector<std::vector<BoundedSourceEntry>> sliced(static_cast<size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    for (const std::vector<std::vector<BoundedSourceEntry>>& chan :
+         state.table) {
+      for (const BoundedSourceEntry& e : chan[static_cast<size_t>(v)]) {
+        if (!active[static_cast<size_t>(e.source)]) continue;
+        if (e.dist > radius) continue;
+        sliced[static_cast<size_t>(v)].push_back(e);
+      }
+    }
+    std::sort(sliced[static_cast<size_t>(v)].begin(),
+              sliced[static_cast<size_t>(v)].end(),
+              [](const BoundedSourceEntry& a, const BoundedSourceEntry& b) {
+                return a.source < b.source;
+              });
+  }
+  (void)channel_of;
+  return sliced;
+}
+
+void expect_slice_matches(
+    const std::vector<std::vector<BoundedSourceEntry>>& sliced,
+    const BoundedMultiSourceResult& ref) {
+  ASSERT_EQ(sliced.size(), ref.table.size());
+  for (size_t v = 0; v < sliced.size(); ++v) {
+    ASSERT_EQ(sliced[v].size(), ref.table[v].size()) << "vertex " << v;
+    for (size_t j = 0; j < sliced[v].size(); ++j) {
+      const BoundedSourceEntry& a = sliced[v][j];
+      const BoundedSourceEntry& b = ref.table[v][j];
+      EXPECT_EQ(a.source, b.source) << "vertex " << v;
+      EXPECT_EQ(a.dist, b.dist) << "vertex " << v;  // bitwise, not NEAR
+      EXPECT_EQ(a.parent, b.parent) << "vertex " << v;
+      EXPECT_EQ(a.parent_edge, b.parent_edge) << "vertex " << v;
+      EXPECT_EQ(a.hopset_edge, b.hopset_edge) << "vertex " << v;
+    }
+  }
+}
+
+std::vector<WeightedGraph> wave_zoo(std::uint64_t seed) {
+  std::vector<WeightedGraph> zoo;
+  zoo.push_back(erdos_renyi(48, 0.15, WeightLaw::kUniform, 20.0, seed));
+  zoo.push_back(grid(7, 7, /*perturb=*/true, seed + 1));
+  zoo.push_back(random_geometric(48, 0.3, seed + 2).graph);
+  return zoo;
+}
+
+// Nested nets the way the doubling pipeline produces them: each scale keeps
+// a sparser subset of the previous scale's sources.
+std::vector<VertexId> every_kth(int n, int k) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; v += k) out.push_back(v);
+  return out;
+}
+
+TEST(WaveExplore, SlicesMatchPerScaleRunsOnZoo) {
+  for (const WeightedGraph& g : wave_zoo(5)) {
+    const RoundedSubstrate substrate(g, 0.1);
+    const int n = g.num_vertices();
+    const std::vector<std::vector<VertexId>> nets = {
+        every_kth(n, 2), every_kth(n, 3), every_kth(n, 5), every_kth(n, 7)};
+    const std::vector<Weight> radii = {2.0, 3.5, 5.0, 8.0};
+
+    std::vector<WaveScale> scales;
+    for (size_t i = 0; i < nets.size(); ++i)
+      scales.push_back({nets[i], radii[i]});
+    const WaveExploreResult wave = bounded_multi_source_paths_wave(
+        substrate, scales, WaveExploreState{});
+
+    for (size_t i = 0; i < nets.size(); ++i) {
+      const BoundedMultiSourceResult ref =
+          bounded_multi_source_paths(substrate, nets[i], radii[i]);
+      const auto sliced =
+          slice_scale(wave.state, wave.channel_of, nets[i], radii[i], n);
+      expect_slice_matches(sliced, ref);
+    }
+    // Per-channel congestion slices must sum to the untagged totals.
+    ASSERT_EQ(wave.cost.per_channel.size(), scales.size());
+    std::uint64_t ch_messages = 0;
+    std::uint64_t ch_words = 0;
+    for (const congest::ChannelCost& ch : wave.cost.per_channel) {
+      ch_messages += ch.messages;
+      ch_words += ch.words;
+    }
+    EXPECT_EQ(ch_messages, wave.cost.messages);
+    EXPECT_EQ(ch_words, wave.cost.words);
+  }
+}
+
+TEST(WaveExplore, WarmStartAcrossWavesMatchesColdRuns) {
+  for (const WeightedGraph& g : wave_zoo(9)) {
+    const RoundedSubstrate substrate(g, 0.1);
+    const int n = g.num_vertices();
+    // Wave A: dense nets at small radii; wave B: sparser subsets at larger
+    // radii (some of A's sources retire between the waves).
+    const std::vector<std::vector<VertexId>> nets_a = {every_kth(n, 2),
+                                                       every_kth(n, 3)};
+    const std::vector<Weight> radii_a = {2.0, 3.0};
+    const std::vector<std::vector<VertexId>> nets_b = {every_kth(n, 6),
+                                                       every_kth(n, 12)};
+    const std::vector<Weight> radii_b = {4.5, 7.0};
+
+    std::vector<WaveScale> wave_a;
+    for (size_t i = 0; i < nets_a.size(); ++i)
+      wave_a.push_back({nets_a[i], radii_a[i]});
+    WaveExploreResult a = bounded_multi_source_paths_wave(substrate, wave_a,
+                                                          WaveExploreState{});
+
+    std::vector<WaveScale> wave_b;
+    for (size_t i = 0; i < nets_b.size(); ++i)
+      wave_b.push_back({nets_b[i], radii_b[i]});
+    const WaveExploreResult b = bounded_multi_source_paths_wave(
+        substrate, wave_b, std::move(a.state));
+
+    EXPECT_GT(b.records_inherited, 0u);
+    EXPECT_GT(b.pruned_records, 0u);  // every_kth(n,2) sources retired
+    for (size_t i = 0; i < nets_b.size(); ++i) {
+      const BoundedMultiSourceResult ref =
+          bounded_multi_source_paths(substrate, nets_b[i], radii_b[i]);
+      const auto sliced =
+          slice_scale(b.state, b.channel_of, nets_b[i], radii_b[i], n);
+      expect_slice_matches(sliced, ref);
+    }
+  }
+}
+
+TEST(WaveExplore, HopsetWaveSlicesMatchPerScaleHopsetRuns) {
+  const WeightedGraph g = erdos_renyi(48, 0.15, WeightLaw::kUniform, 20.0, 7);
+  const WeightedGraph h = round_weights_up(g, 0.1);
+  const Hopset hopset = build_hopset(h, /*hop_limit=*/4, 77).hopset;
+  const int n = g.num_vertices();
+
+  const std::vector<std::vector<VertexId>> nets = {every_kth(n, 2),
+                                                   every_kth(n, 3),
+                                                   every_kth(n, 5)};
+  const std::vector<Weight> radii = {3.0, 5.0, 8.0};
+
+  // Union run: every source bounded by the radius of the LAST scale where
+  // it is active (its owner), mirroring the scheduler-kernel wave.
+  std::vector<Weight> radius_by_source(static_cast<size_t>(n), -1.0);
+  std::vector<VertexId> union_sources;
+  for (size_t i = 0; i < nets.size(); ++i)
+    for (VertexId s : nets[i]) {
+      if (radius_by_source[static_cast<size_t>(s)] < 0)
+        union_sources.push_back(s);
+      radius_by_source[static_cast<size_t>(s)] = radii[i];
+    }
+  std::sort(union_sources.begin(), union_sources.end());
+  const BoundedMultiSourceResult wave = bounded_multi_source_paths_hopset_wave(
+      h, hopset, union_sources, radius_by_source, /*hop_diameter=*/4);
+
+  for (size_t i = 0; i < nets.size(); ++i) {
+    const BoundedMultiSourceResult ref = bounded_multi_source_paths_hopset_on(
+        h, hopset, nets[i], radii[i], /*hop_diameter=*/4);
+    // Slice the union table down to this scale's sources and radius.
+    std::vector<char> active(static_cast<size_t>(n), 0);
+    for (VertexId s : nets[i]) active[static_cast<size_t>(s)] = 1;
+    std::vector<std::vector<BoundedSourceEntry>> sliced(
+        static_cast<size_t>(n));
+    for (VertexId v = 0; v < n; ++v)
+      for (const BoundedSourceEntry& e : wave.table[static_cast<size_t>(v)])
+        if (active[static_cast<size_t>(e.source)] && e.dist <= radii[i])
+          sliced[static_cast<size_t>(v)].push_back(e);
+    expect_slice_matches(sliced, ref);
+  }
+}
+
+}  // namespace
+}  // namespace lightnet
